@@ -1,0 +1,36 @@
+//! Criterion bench: per-key encode latency for each scheme (the hot path
+//! behind Figure 8 row 2 and every tree query).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use hope::Scheme;
+use hope_bench::build_hope;
+use hope_workloads::{generate, sample_keys, Dataset};
+
+fn bench_encode(c: &mut Criterion) {
+    let keys = generate(Dataset::Email, 20_000, 42);
+    let sample = sample_keys(&keys, 25.0, 1);
+    let chars: usize = keys.iter().map(|k| k.len()).sum();
+
+    let mut group = c.benchmark_group("encode_email");
+    group.throughput(Throughput::Bytes(chars as u64));
+    for scheme in Scheme::ALL {
+        let hope = build_hope(scheme, 1 << 14, &sample);
+        group.bench_function(BenchmarkId::from_parameter(scheme.name()), |b| {
+            b.iter(|| {
+                let mut bits = 0usize;
+                for k in &keys {
+                    bits += hope.encode(std::hint::black_box(k)).bit_len();
+                }
+                bits
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_encode
+}
+criterion_main!(benches);

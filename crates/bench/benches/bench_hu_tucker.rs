@@ -1,0 +1,47 @@
+//! Criterion bench: Hu-Tucker (Garsia–Wachs) code construction across
+//! dictionary sizes — the Code Assigner stage of Figure 9 — plus the
+//! Range-Encoding alternative §4.2 mentions (faster to assign, worse
+//! expected code length; the printed comparison quantifies the trade).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hope::code_assign::{expected_code_length, range_encoding_codes};
+use hope::hu_tucker::hu_tucker_codes;
+
+fn weights_of(n: usize) -> Vec<u64> {
+    let mut x = 0x243F6A8885A308D3u64;
+    (0..n)
+        .map(|_| {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            if x % 10 < 8 { 1 } else { x % 100_000 + 1 }
+        })
+        .collect()
+}
+
+fn bench_hu_tucker(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hu_tucker");
+    for exp in [8u32, 12, 16] {
+        let weights = weights_of(1usize << exp);
+        group.bench_function(BenchmarkId::from_parameter(format!("2^{exp}")), |b| {
+            b.iter(|| hu_tucker_codes(std::hint::black_box(&weights)))
+        });
+        group.bench_function(BenchmarkId::new("range_encoding", format!("2^{exp}")), |b| {
+            b.iter(|| range_encoding_codes(std::hint::black_box(&weights)))
+        });
+    }
+    group.finish();
+
+    // Ablation summary (§4.2): expected code length of the two assigners.
+    let weights = weights_of(1 << 12);
+    let ht = expected_code_length(&weights, &hu_tucker_codes(&weights));
+    let re = expected_code_length(&weights, &range_encoding_codes(&weights));
+    eprintln!("# code-length ablation (2^12 weights): Hu-Tucker {ht:.3} bits/symbol, Range Encoding {re:.3} bits/symbol");
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_hu_tucker
+}
+criterion_main!(benches);

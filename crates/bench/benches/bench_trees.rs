@@ -1,0 +1,62 @@
+//! Criterion bench: point-query hot paths of the four updatable trees plus
+//! SuRF, on raw vs Double-Char-compressed email keys (the core comparison
+//! behind Figures 10 and 12).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use hope::Scheme;
+use hope_bench::{build_hope, PreparedKeys, TreeKind};
+use hope_surf::{SuffixKind, Surf};
+use hope_workloads::{generate, sample_keys, Dataset};
+
+fn bench_trees(c: &mut Criterion) {
+    let keys = generate(Dataset::Email, 20_000, 11);
+    let sample = sample_keys(&keys, 25.0, 3);
+    let hope = build_hope(Scheme::DoubleChar, 65792, &sample);
+
+    let raw = PreparedKeys::raw(&keys);
+    let enc = PreparedKeys::encoded(hope, &keys);
+
+    for (label, prep) in [("raw", &raw), ("double-char", &enc)] {
+        let mut group = c.benchmark_group(format!("point_query_{label}"));
+        group.throughput(Throughput::Elements(keys.len() as u64));
+        for kind in TreeKind::ALL {
+            let mut tree = kind.new_tree();
+            for (i, k) in prep.keys.iter().enumerate() {
+                tree.insert(k, i as u64);
+            }
+            group.bench_function(BenchmarkId::from_parameter(kind.name()), |b| {
+                b.iter(|| {
+                    let mut hits = 0usize;
+                    for (i, k) in keys.iter().enumerate() {
+                        let q = prep.encode_query(std::hint::black_box(k));
+                        hits += (tree.get(&q) == Some(i as u64)) as usize;
+                    }
+                    hits
+                })
+            });
+        }
+        // SuRF point queries on the same keys.
+        let mut sorted = prep.keys.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        let surf = Surf::build(&sorted, SuffixKind::Real);
+        group.bench_function(BenchmarkId::from_parameter("SuRF"), |b| {
+            b.iter(|| {
+                let mut hits = 0usize;
+                for k in &keys {
+                    let q = prep.encode_query(std::hint::black_box(k));
+                    hits += surf.contains(&q) as usize;
+                }
+                hits
+            })
+        });
+        group.finish();
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_trees
+}
+criterion_main!(benches);

@@ -1,0 +1,74 @@
+//! Figure 8 — compression microbenchmarks: for each dataset (Email, Wiki,
+//! URL) and each scheme, sweep the number of dictionary entries and report
+//! (row 1) compression rate, (row 2) encode latency in ns per source char,
+//! (row 3) dictionary memory in KB.
+//!
+//! Also prints Table 1 (module configuration) with `--table1`.
+//!
+//! Usage: `cargo run --release -p hope-bench --bin fig08_microbench
+//!         [-- --keys N --quick --table1 --full]`
+
+use hope::stats;
+use hope::Scheme;
+use hope_bench::{build_hope, load_dataset, mb, BenchConfig};
+use hope_workloads::Dataset;
+
+fn main() {
+    let cfg = BenchConfig::from_args();
+    if cfg.has_flag("--table1") {
+        print_table1();
+        return;
+    }
+    // Dictionary-size sweep: 2^8 .. 2^16 (paper: up to 2^18; pass --full).
+    let max_exp = if cfg.has_flag("--full") { 18 } else { 16 };
+    let exps: Vec<u32> = (8..=max_exp).step_by(2).collect();
+
+    println!("# Figure 8: compression rate / encode latency / dictionary memory");
+    println!("# keys per dataset: {}, sample: ~1% (>=5k)", cfg.keys);
+    println!(
+        "{:6} {:14} {:>9} {:>8} {:>12} {:>12}",
+        "data", "scheme", "dict", "CPR", "ns/char", "dict KB"
+    );
+
+    for dataset in Dataset::ALL {
+        let keys = load_dataset(dataset, &cfg);
+        let sample = cfg.sample(&keys);
+        for scheme in Scheme::ALL {
+            let sizes: Vec<usize> = match scheme.fixed_dict_size() {
+                Some(fixed) => vec![fixed],
+                None => exps.iter().map(|e| 1usize << e).collect(),
+            };
+            for target in sizes {
+                let hope = build_hope(scheme, target, &sample);
+                let st = stats::measure(&hope, &keys);
+                println!(
+                    "{:6} {:14} {:>9} {:>8.3} {:>12.2} {:>12.1}",
+                    dataset.name(),
+                    scheme.name(),
+                    hope.dict_entries(),
+                    st.cpr(),
+                    st.latency_ns_per_char(),
+                    mb(hope.dict_memory_bytes()) * 1024.0,
+                );
+            }
+        }
+    }
+}
+
+fn print_table1() {
+    println!("# Table 1: module implementations of the six schemes");
+    println!(
+        "{:14} {:8} {:14} {:12} {:10}",
+        "scheme", "category", "code assigner", "dictionary", "dict size"
+    );
+    for s in Scheme::ALL {
+        println!(
+            "{:14} {:8} {:14} {:12} {:10}",
+            s.name(),
+            s.category(),
+            if s.uses_hu_tucker() { "Hu-Tucker" } else { "Fixed-Length" },
+            s.dictionary_kind(),
+            s.fixed_dict_size().map_or("tunable".to_string(), |n| n.to_string()),
+        );
+    }
+}

@@ -1,0 +1,151 @@
+//! Figure 10 — SuRF under YCSB: point latency vs memory, range latency,
+//! build time, and average trie height, for the uncompressed baseline and
+//! the six HOPE configurations, on all three datasets.
+//!
+//! Range queries follow §7.1: the end key is a copy of the start key with
+//! its last byte incremented; both endpoints are pair-encoded (§4.2).
+//! `--model` additionally prints the §5 analytic latency-reduction model.
+//!
+//! Usage: `cargo run --release -p hope-bench --bin fig10_surf_ycsb
+//!         [-- --keys N --queries N --quick --model]`
+
+use hope_bench::{
+    build_hope, load_dataset, mb, ns_per_op, paper_tree_configs, time, us_per_op, BenchConfig,
+};
+use hope_surf::{SuffixKind, Surf};
+use hope_workloads::{Dataset, ScrambledZipf};
+
+fn main() {
+    let cfg = BenchConfig::from_args();
+    println!("# Figure 10: SuRF with HOPE (point/range latency, memory, build, height)");
+    println!(
+        "{:6} {:20} {:>9} {:>9} {:>9} {:>9} {:>8} {:>7}",
+        "data", "config", "point_us", "range_us", "mem_MB", "build_s", "height", "CPR"
+    );
+
+    for dataset in Dataset::ALL {
+        let keys = load_dataset(dataset, &cfg);
+        let sample = cfg.sample(&keys);
+        let mut zipf = ScrambledZipf::ycsb(keys.len(), cfg.seed ^ 0xF16);
+
+        // Uncompressed baseline.
+        run_config(dataset, "Uncompressed", None, &keys, &cfg, &mut zipf);
+
+        for (scheme, limit, label) in paper_tree_configs() {
+            let hope = build_hope(scheme, limit, &sample);
+            run_config(dataset, &label, Some(hope), &keys, &cfg, &mut zipf);
+        }
+
+        if cfg.has_flag("--model") && dataset == Dataset::Email {
+            print_model(&keys, &sample);
+        }
+    }
+}
+
+fn run_config(
+    dataset: Dataset,
+    label: &str,
+    hope: Option<hope::Hope>,
+    keys: &[Vec<u8>],
+    cfg: &BenchConfig,
+    zipf: &mut ScrambledZipf,
+) {
+    // Build phase: encode + sort + construct the filter.
+    let (prepared, build) = time(|| {
+        let mut enc: Vec<Vec<u8>> = match &hope {
+            Some(h) => keys.iter().map(|k| h.encode(k).into_bytes()).collect(),
+            None => keys.to_vec(),
+        };
+        let mut sorted = enc.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        let surf = Surf::build(&sorted, SuffixKind::Real);
+        enc.shrink_to_fit();
+        (enc, surf)
+    });
+    let (enc_keys, surf) = prepared;
+
+    let src_bytes: usize = keys.iter().map(|k| k.len()).sum();
+    let enc_bytes: usize = enc_keys.iter().map(|k| k.len()).sum();
+    let cpr = src_bytes as f64 / enc_bytes as f64;
+
+    // Point queries (workload C, Zipf over the key set).
+    let point_q: Vec<usize> = (0..cfg.queries).map(|_| zipf.next()).collect();
+    let mut writer = hope::bitpack::BitWriter::new();
+    let mut buf = Vec::new();
+    let (hits, d_point) = time(|| {
+        let mut hits = 0usize;
+        for &i in &point_q {
+            let q: &[u8] = match &hope {
+                Some(h) => {
+                    h.encoder().encode_into(&keys[i], &mut writer);
+                    writer.finish_into(&mut buf);
+                    &buf
+                }
+                None => &keys[i],
+            };
+            hits += surf.contains(q) as usize;
+        }
+        hits
+    });
+    assert_eq!(hits, point_q.len(), "a filter must not produce false negatives");
+
+    // Range queries: [key, key-with-last-byte+1), pair-encoded.
+    let range_q: Vec<usize> = (0..cfg.queries / 2).map(|_| zipf.next()).collect();
+    let (_, d_range) = time(|| {
+        let mut found = 0usize;
+        for &i in &range_q {
+            let mut end = keys[i].clone();
+            if let Some(last) = end.last_mut() {
+                *last = last.saturating_add(1);
+            }
+            let (lo, hi) = match &hope {
+                Some(h) => {
+                    let (a, b) = h.encode_pair(&keys[i], &end);
+                    (a.into_bytes(), b.into_bytes())
+                }
+                None => (keys[i].clone(), end),
+            };
+            found += surf.range_may_contain(&lo, &hi) as usize;
+        }
+        found
+    });
+
+    let mem = surf.memory_bytes() + hope.as_ref().map_or(0, |h| h.dict_memory_bytes());
+    println!(
+        "{:6} {:20} {:>9.3} {:>9.3} {:>9.2} {:>9.2} {:>8.2} {:>7.2}",
+        dataset.name(),
+        label,
+        us_per_op(d_point, point_q.len()),
+        us_per_op(d_range, range_q.len().max(1)),
+        mb(mem),
+        build.as_secs_f64(),
+        surf.avg_height(),
+        cpr,
+    );
+}
+
+/// §5's latency-reduction model, instantiated like the paper's example:
+/// reduction = 1 - 1/cpr - (l * t_encode) / (h * t_trie).
+fn print_model(keys: &[Vec<u8>], sample: &[Vec<u8>]) {
+    let hope = build_hope(hope::Scheme::DoubleChar, 65792, sample);
+    let st = hope::stats::measure(&hope, keys);
+    let cpr = st.cpr();
+    let t_encode = st.latency_ns_per_char();
+    let l: f64 = keys.iter().map(|k| k.len()).sum::<usize>() as f64 / keys.len() as f64;
+
+    let mut sorted = keys.to_vec();
+    sorted.sort_unstable();
+    sorted.dedup();
+    let surf = Surf::build(&sorted, SuffixKind::Real);
+    let h = surf.avg_height();
+    // t_trie from the uncompressed point-query latency.
+    let probe: Vec<&Vec<u8>> = sorted.iter().step_by(7).collect();
+    let (_, d) = time(|| probe.iter().map(|k| surf.contains(k) as usize).sum::<usize>());
+    let t_trie = ns_per_op(d, probe.len()) / h;
+    let reduction = 1.0 - 1.0 / cpr - (l * t_encode) / (h * t_trie);
+    println!(
+        "# §5 model (email, Double-Char): cpr={cpr:.2} t_enc={t_encode:.1}ns/char l={l:.1} h={h:.1} t_trie={t_trie:.1}ns -> predicted latency reduction {:.0}%",
+        reduction * 100.0
+    );
+}

@@ -1,0 +1,69 @@
+//! Figure 11 — SuRF false-positive rate on email point queries, for
+//! SuRF-Base and SuRF-Real8, uncompressed vs the six HOPE configurations.
+//!
+//! The paper's claim: HOPE-compressed keys lower the FPR at the same
+//! suffix configuration, because every stored bit carries more information.
+//!
+//! Usage: `cargo run --release -p hope-bench --bin fig11_surf_fpr`
+
+use hope_bench::{build_hope, load_dataset, paper_tree_configs, BenchConfig};
+use hope_surf::{SuffixKind, Surf};
+use hope_workloads::Dataset;
+
+fn main() {
+    let cfg = BenchConfig::from_args();
+    // Generate 2x keys: half loaded, half used as negative queries.
+    let mut big = cfg.clone();
+    big.keys *= 2;
+    let all = load_dataset(Dataset::Email, &big);
+    let (loaded, negatives) = all.split_at(all.len() / 2);
+    let sample = cfg.sample(loaded);
+
+    println!("# Figure 11: SuRF false positive rate, email point queries");
+    println!("# loaded {} keys, {} negative queries", loaded.len(), negatives.len());
+    println!(
+        "{:20} {:>12} {:>14}",
+        "config", "SuRF_FPR_%", "SuRF-Real8_FPR_%"
+    );
+
+    report("Uncompressed", None, loaded, negatives);
+    for (scheme, limit, label) in paper_tree_configs() {
+        let hope = build_hope(scheme, limit, &sample);
+        report(&label, Some(hope), loaded, negatives);
+    }
+}
+
+fn report(label: &str, hope: Option<hope::Hope>, loaded: &[Vec<u8>], negatives: &[Vec<u8>]) {
+    let enc = |k: &[u8]| -> Vec<u8> {
+        match &hope {
+            Some(h) => h.encode(k).into_bytes(),
+            None => k.to_vec(),
+        }
+    };
+    let mut sorted: Vec<Vec<u8>> = loaded.iter().map(|k| enc(k)).collect();
+    sorted.sort_unstable();
+    sorted.dedup();
+    let base = Surf::build(&sorted, SuffixKind::None);
+    let real = Surf::build(&sorted, SuffixKind::Real);
+
+    let mut fp_base = 0usize;
+    let mut fp_real = 0usize;
+    let mut total = 0usize;
+    let present: std::collections::HashSet<&[u8]> =
+        loaded.iter().map(|k| k.as_slice()).collect();
+    for q in negatives {
+        if present.contains(q.as_slice()) {
+            continue;
+        }
+        total += 1;
+        let e = enc(q);
+        fp_base += base.contains(&e) as usize;
+        fp_real += real.contains(&e) as usize;
+    }
+    println!(
+        "{:20} {:>12.2} {:>14.2}",
+        label,
+        fp_base as f64 / total as f64 * 100.0,
+        fp_real as f64 / total as f64 * 100.0,
+    );
+}

@@ -1,0 +1,57 @@
+//! Figure 13 (Appendix A) — sample-size sensitivity: compression rate for
+//! each scheme under sample fractions 0.001% … 100% of the dataset, with
+//! the dictionary size limit at 64K entries.
+//!
+//! Like the paper (whose 100% ALM runs "did not finish in a reasonable
+//! amount of time"), the ALM schemes skip the 100% fraction unless
+//! `--full` is passed.
+//!
+//! Usage: `cargo run --release -p hope-bench --bin fig13_sample_size
+//!         [-- --keys N --quick --full]`
+
+use hope::stats;
+use hope::Scheme;
+use hope_bench::{build_hope, load_dataset, BenchConfig};
+use hope_workloads::{sample_keys, Dataset};
+
+fn main() {
+    let cfg = BenchConfig::from_args();
+    let fractions: &[f64] = &[0.001, 0.01, 0.1, 1.0, 10.0, 100.0];
+
+    println!("# Figure 13: CPR vs sample size (dict limit 64K)");
+    println!(
+        "{:6} {:14} {:>10} {:>9} {:>8}",
+        "data", "scheme", "sample_%", "samples", "CPR"
+    );
+
+    for dataset in Dataset::ALL {
+        let keys = load_dataset(dataset, &cfg);
+        for scheme in Scheme::ALL {
+            for &pct in fractions {
+                let alm = matches!(scheme, Scheme::Alm | Scheme::AlmImproved);
+                if alm && pct >= 100.0 && !cfg.has_flag("--full") {
+                    println!(
+                        "{:6} {:14} {:>10} {:>9} {:>8}",
+                        dataset.name(),
+                        scheme.name(),
+                        pct,
+                        "-",
+                        "DNF"
+                    );
+                    continue;
+                }
+                let sample = sample_keys(&keys, pct.max(100.0 / cfg.keys as f64), cfg.seed ^ 0x13);
+                let hope = build_hope(scheme, 1 << 16, &sample);
+                let st = stats::measure(&hope, &keys);
+                println!(
+                    "{:6} {:14} {:>10} {:>9} {:>8.3}",
+                    dataset.name(),
+                    scheme.name(),
+                    pct,
+                    sample.len(),
+                    st.cpr()
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,56 @@
+//! Figure 14 (Appendix B) — batch encoding: encode latency (ns per char)
+//! for batch sizes 1, 2 (pair encoding) and 32, over a pre-sorted 1%
+//! sample of email keys; 64K dictionaries for the gram schemes.
+//!
+//! The ALM schemes cannot batch (arbitrary-length symbols prevent a-priori
+//! prefix alignment, §4.2); they are reported at batch size 1 only.
+//! `--sweep` adds the intermediate batch sizes.
+//!
+//! Usage: `cargo run --release -p hope-bench --bin fig14_batch_encode`
+
+use hope::Scheme;
+use hope_bench::{build_hope, load_dataset, ns_per_op, time, BenchConfig};
+use hope_workloads::Dataset;
+
+fn main() {
+    let cfg = BenchConfig::from_args();
+    let keys = load_dataset(Dataset::Email, &cfg);
+    let sample = cfg.sample(&keys);
+    // The measured corpus is itself the sorted sample, as in the paper.
+    let mut corpus = sample.clone();
+    corpus.sort_unstable();
+    let refs: Vec<&[u8]> = corpus.iter().map(|k| k.as_slice()).collect();
+    let chars: usize = corpus.iter().map(|k| k.len()).sum();
+
+    let batch_sizes: Vec<usize> = if cfg.has_flag("--sweep") {
+        vec![1, 2, 4, 8, 16, 32, 64]
+    } else {
+        vec![1, 2, 32]
+    };
+
+    println!("# Figure 14: batch encoding latency on sorted email sample ({} keys)", corpus.len());
+    println!("{:14} {:>6} {:>12}", "scheme", "batch", "ns_per_char");
+
+    for scheme in [
+        Scheme::SingleChar,
+        Scheme::DoubleChar,
+        Scheme::ThreeGrams,
+        Scheme::FourGrams,
+        Scheme::AlmImproved,
+    ] {
+        let hope = build_hope(scheme, 1 << 16, &sample);
+        let sizes: &[usize] = if scheme == Scheme::AlmImproved { &[1] } else { &batch_sizes };
+        for &bs in sizes {
+            // Warm + measure (median of 3).
+            let mut runs: Vec<f64> = (0..3)
+                .map(|_| {
+                    let (out, d) = time(|| hope.encode_batch(&refs, bs));
+                    assert_eq!(out.len(), refs.len());
+                    ns_per_op(d, chars)
+                })
+                .collect();
+            runs.sort_by(f64::total_cmp);
+            println!("{:14} {:>6} {:>12.2}", scheme.name(), bs, runs[1]);
+        }
+    }
+}

@@ -1,0 +1,82 @@
+//! Figure 16 (Appendix D) — YCSB-E range-scan and insert latency for ART,
+//! HOT, B+tree and Prefix B+tree, uncompressed vs the six HOPE
+//! configurations, on all three datasets.
+//!
+//! Usage: `cargo run --release -p hope-bench --bin fig16_tree_range_insert
+//!         [-- --keys N --queries N --quick]`
+
+use hope_bench::{
+    build_hope, load_dataset, mb, paper_tree_configs, time, us_per_op, BenchConfig, PreparedKeys,
+    QueryScratch, TreeKind,
+};
+use hope_workloads::{Dataset, Op, WorkloadSpec, YcsbWorkload};
+
+fn main() {
+    let cfg = BenchConfig::from_args();
+    println!("# Figure 16: range scan + insert latency (YCSB E)");
+    println!(
+        "{:6} {:14} {:20} {:>9} {:>10} {:>10}",
+        "data", "tree", "config", "range_us", "insert_us", "mem_MB"
+    );
+
+    for dataset in Dataset::ALL {
+        let keys = load_dataset(dataset, &cfg);
+        let sample = cfg.sample(&keys);
+        let workload =
+            YcsbWorkload::generate(WorkloadSpec::E, keys.len(), cfg.queries, cfg.seed ^ 0xF16E);
+
+        let mut prepared: Vec<(String, PreparedKeys)> =
+            vec![("Uncompressed".into(), PreparedKeys::raw(&keys))];
+        for (scheme, limit, label) in paper_tree_configs() {
+            let hope = build_hope(scheme, limit, &sample);
+            prepared.push((label, PreparedKeys::encoded(hope, &keys)));
+        }
+
+        for kind in TreeKind::ALL {
+            for (label, prep) in &prepared {
+                let mut tree = kind.new_tree();
+                for i in 0..workload.load_count {
+                    tree.insert(&prep.keys[i], i as u64);
+                }
+                let mut scratch = QueryScratch::default();
+                let mut scan_time = std::time::Duration::ZERO;
+                let mut scans = 0usize;
+                let mut insert_time = std::time::Duration::ZERO;
+                let mut inserts = 0usize;
+                let mut scanned_total = 0usize;
+                for op in &workload.ops {
+                    match op {
+                        Op::Scan(idx, len) => {
+                            let ((), d) = time(|| {
+                                let start = prep.encode_query_scratch(&keys[*idx], &mut scratch);
+                                scanned_total += tree.scan(start, *len).len();
+                            });
+                            scan_time += d;
+                            scans += 1;
+                        }
+                        Op::Insert(idx) => {
+                            let ((), d) = time(|| {
+                                let k = prep.encode_query(&keys[*idx]);
+                                tree.insert(&k, *idx as u64);
+                            });
+                            insert_time += d;
+                            inserts += 1;
+                        }
+                        Op::Read(_) => unreachable!("workload E has no reads"),
+                    }
+                }
+                assert!(scanned_total > 0, "scans returned nothing");
+                let mem = tree.memory_bytes() + prep.dict_memory();
+                println!(
+                    "{:6} {:14} {:20} {:>9.3} {:>10.3} {:>10.2}",
+                    dataset.name(),
+                    kind.name(),
+                    label,
+                    us_per_op(scan_time, scans.max(1)),
+                    us_per_op(insert_time, inserts.max(1)),
+                    mb(mem),
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,548 @@
+//! # hope-btree — B+tree substrates
+//!
+//! Two of the five search trees the HOPE paper evaluates on:
+//!
+//! * **plain B+tree** — modeled on the TLX (formerly STX) B+tree the paper
+//!   uses: 256-byte nodes with a fan-out of [`FANOUT`] = 16, variable-length
+//!   string keys stored *outside* the node behind reference pointers
+//!   (here: `Box<[u8]>`, 16 bytes of slot + the key bytes on the heap);
+//! * **Prefix B+tree** (Bayer & Unterauer '77) — adds *prefix truncation*
+//!   (a node stores the common prefix of its keys once) and *suffix
+//!   truncation* (a leaf split promotes the shortest separator that still
+//!   partitions the halves).
+//!
+//! ```
+//! use hope_btree::BPlusTree;
+//!
+//! let mut t = BPlusTree::prefix(); // or BPlusTree::plain()
+//! t.insert(b"com.gmail@alice", 1);
+//! t.insert(b"com.gmail@bob", 2);
+//! assert_eq!(t.get(b"com.gmail@alice"), Some(1));
+//! assert_eq!(t.scan(b"com.gmail@", 10), vec![1, 2]);
+//! ```
+
+#![warn(missing_docs)]
+#![deny(unsafe_code)]
+
+/// Node fan-out: 256-byte nodes / (8-byte key pointer + 8-byte value or
+/// child pointer) = 16 slots, matching the paper's TLX configuration.
+pub const FANOUT: usize = 16;
+
+const NO_NODE: u32 = u32::MAX;
+
+/// A list of keys sharing an optional truncated prefix.
+///
+/// With `truncate = false` the prefix stays empty and keys are stored
+/// whole (plain B+tree). With `truncate = true` the node's common prefix
+/// is stored once and only suffixes per key (Prefix B+tree).
+#[derive(Debug, Default)]
+struct KeyList {
+    prefix: Vec<u8>,
+    suffixes: Vec<Box<[u8]>>,
+}
+
+impl KeyList {
+    fn len(&self) -> usize {
+        self.suffixes.len()
+    }
+
+    fn full_key(&self, i: usize) -> Vec<u8> {
+        let mut k = self.prefix.clone();
+        k.extend_from_slice(&self.suffixes[i]);
+        k
+    }
+
+    /// Compare stored key `i` with `q` without materializing it.
+    fn cmp(&self, i: usize, q: &[u8]) -> std::cmp::Ordering {
+        use std::cmp::Ordering::*;
+        let p = &self.prefix;
+        let n = p.len().min(q.len());
+        match p[..n].cmp(&q[..n]) {
+            Equal => {
+                if q.len() < p.len() {
+                    return Greater; // stored starts with more than q has
+                }
+                self.suffixes[i].as_ref().cmp(&q[p.len()..])
+            }
+            other => other,
+        }
+    }
+
+    /// First index whose key is `>= q`.
+    fn lower_bound(&self, q: &[u8]) -> usize {
+        self.suffixes
+            .partition_point(|_| false)
+            .max(self.partition(|i| self.cmp(i, q) == std::cmp::Ordering::Less))
+    }
+
+    /// First index whose key is `> q`.
+    fn upper_bound(&self, q: &[u8]) -> usize {
+        self.partition(|i| self.cmp(i, q) != std::cmp::Ordering::Greater)
+    }
+
+    fn partition(&self, pred: impl Fn(usize) -> bool) -> usize {
+        let mut lo = 0;
+        let mut hi = self.len();
+        while lo < hi {
+            let mid = (lo + hi) / 2;
+            if pred(mid) {
+                lo = mid + 1;
+            } else {
+                hi = mid;
+            }
+        }
+        lo
+    }
+
+    /// Insert `key` at sorted position `i`, maintaining the truncated
+    /// prefix invariant when enabled.
+    fn insert_at(&mut self, i: usize, key: &[u8], truncate: bool) {
+        if truncate {
+            if self.suffixes.is_empty() {
+                self.prefix = key.to_vec();
+                self.suffixes.insert(0, Box::from(&[][..]));
+                return;
+            }
+            let m = lcp(&self.prefix, key);
+            if m < self.prefix.len() {
+                // New key breaks the shared prefix: re-expand.
+                let dropped = self.prefix[m..].to_vec();
+                for s in &mut self.suffixes {
+                    let mut v = dropped.clone();
+                    v.extend_from_slice(s);
+                    *s = v.into_boxed_slice();
+                }
+                self.prefix.truncate(m);
+            }
+        } else {
+            debug_assert!(self.prefix.is_empty());
+        }
+        self.suffixes.insert(i, Box::from(&key[self.prefix.len()..]));
+    }
+
+    /// Split off the upper half at `at`, re-tightening both prefixes.
+    fn split_off(&mut self, at: usize, truncate: bool) -> KeyList {
+        let upper = self.suffixes.split_off(at);
+        let mut right = KeyList { prefix: self.prefix.clone(), suffixes: upper };
+        if truncate {
+            self.retighten();
+            right.retighten();
+        }
+        right
+    }
+
+    /// Extend the prefix by the common prefix of all suffixes.
+    fn retighten(&mut self) {
+        if self.suffixes.is_empty() {
+            return;
+        }
+        let mut m = self.suffixes[0].len();
+        for s in &self.suffixes[1..] {
+            m = m.min(lcp(&self.suffixes[0], s));
+            if m == 0 {
+                return;
+            }
+        }
+        if m > 0 {
+            self.prefix.extend_from_slice(&self.suffixes[0][..m]);
+            for s in &mut self.suffixes {
+                *s = Box::from(&s[m..]);
+            }
+        }
+    }
+
+    /// Heap bytes: key-slot pointers (16 B each, the TLX "reference
+    /// pointer") plus out-of-node key bytes plus the shared prefix.
+    fn memory_bytes(&self) -> usize {
+        self.prefix.len()
+            + self
+                .suffixes
+                .iter()
+                .map(|s| std::mem::size_of::<Box<[u8]>>() + s.len())
+                .sum::<usize>()
+    }
+}
+
+#[derive(Debug)]
+struct LeafNode {
+    keys: KeyList,
+    values: Vec<u64>,
+    next: u32,
+}
+
+#[derive(Debug)]
+struct InnerNode {
+    /// Separators; child `i` holds keys `< seps[i]`, child `i+1` keys
+    /// `>= seps[i]`.
+    seps: KeyList,
+    children: Vec<u32>,
+}
+
+#[derive(Debug)]
+enum Node {
+    Leaf(LeafNode),
+    Inner(InnerNode),
+}
+
+/// A B+tree over byte-string keys and `u64` values.
+#[derive(Debug)]
+pub struct BPlusTree {
+    nodes: Vec<Node>,
+    root: u32,
+    len: usize,
+    prefix_truncation: bool,
+    suffix_truncation: bool,
+}
+
+impl BPlusTree {
+    /// Plain TLX-style B+tree (full keys behind reference pointers).
+    pub fn plain() -> Self {
+        Self::with_modes(false, false)
+    }
+
+    /// Prefix B+tree: prefix truncation in nodes + suffix-truncated
+    /// separators on splits.
+    pub fn prefix() -> Self {
+        Self::with_modes(true, true)
+    }
+
+    fn with_modes(prefix_truncation: bool, suffix_truncation: bool) -> Self {
+        let leaf = Node::Leaf(LeafNode { keys: KeyList::default(), values: Vec::new(), next: NO_NODE });
+        BPlusTree { nodes: vec![leaf], root: 0, len: 0, prefix_truncation, suffix_truncation }
+    }
+
+    /// Number of stored keys.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True if no keys are stored.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Tree height in levels (1 = a single leaf).
+    pub fn height(&self) -> usize {
+        let mut h = 1;
+        let mut at = self.root;
+        while let Node::Inner(inner) = &self.nodes[at as usize] {
+            at = inner.children[0];
+            h += 1;
+        }
+        h
+    }
+
+    /// Total memory: node structures + key slots + out-of-node key bytes.
+    pub fn memory_bytes(&self) -> usize {
+        self.nodes
+            .iter()
+            .map(|n| match n {
+                Node::Leaf(l) => {
+                    std::mem::size_of::<Node>() + l.keys.memory_bytes() + l.values.len() * 8
+                }
+                Node::Inner(i) => {
+                    std::mem::size_of::<Node>() + i.seps.memory_bytes() + i.children.len() * 4
+                }
+            })
+            .sum()
+    }
+
+    /// Point lookup.
+    pub fn get(&self, key: &[u8]) -> Option<u64> {
+        let mut at = self.root;
+        loop {
+            match &self.nodes[at as usize] {
+                Node::Inner(inner) => {
+                    let i = inner.seps.upper_bound(key);
+                    at = inner.children[i];
+                }
+                Node::Leaf(leaf) => {
+                    let i = leaf.keys.lower_bound(key);
+                    return (i < leaf.keys.len()
+                        && leaf.keys.cmp(i, key) == std::cmp::Ordering::Equal)
+                        .then(|| leaf.values[i]);
+                }
+            }
+        }
+    }
+
+    /// Insert or update; returns the previous value if present.
+    pub fn insert(&mut self, key: &[u8], value: u64) -> Option<u64> {
+        let root = self.root;
+        let (split, old) = self.insert_rec(root, key, value);
+        if let Some((sep, right)) = split {
+            let mut seps = KeyList::default();
+            seps.insert_at(0, &sep, self.prefix_truncation);
+            let inner = InnerNode { seps, children: vec![root, right] };
+            self.nodes.push(Node::Inner(inner));
+            self.root = (self.nodes.len() - 1) as u32;
+        }
+        if old.is_none() {
+            self.len += 1;
+        }
+        old
+    }
+
+    /// Returns (optional split (separator, new right node), old value).
+    fn insert_rec(&mut self, at: u32, key: &[u8], value: u64) -> (Option<(Vec<u8>, u32)>, Option<u64>) {
+        let (sep_right, old) = match &mut self.nodes[at as usize] {
+            Node::Leaf(leaf) => {
+                let i = leaf.keys.lower_bound(key);
+                if i < leaf.keys.len() && leaf.keys.cmp(i, key) == std::cmp::Ordering::Equal {
+                    let old = leaf.values[i];
+                    leaf.values[i] = value;
+                    return (None, Some(old));
+                }
+                let truncate = self.prefix_truncation;
+                leaf.keys.insert_at(i, key, truncate);
+                leaf.values.insert(i, value);
+                if leaf.keys.len() <= FANOUT {
+                    return (None, None);
+                }
+                // Split the leaf.
+                let mid = leaf.keys.len() / 2;
+                let left_max = leaf.keys.full_key(mid - 1);
+                let right_min = leaf.keys.full_key(mid);
+                let sep = if self.suffix_truncation {
+                    shortest_separator(&left_max, &right_min)
+                } else {
+                    right_min.clone()
+                };
+                let rk = leaf.keys.split_off(mid, truncate);
+                let rv = leaf.values.split_off(mid);
+                let new_leaf =
+                    Node::Leaf(LeafNode { keys: rk, values: rv, next: leaf.next });
+                if truncate {
+                    leaf.keys.retighten();
+                }
+                self.nodes.push(new_leaf);
+                let right = (self.nodes.len() - 1) as u32;
+                if let Node::Leaf(l) = &mut self.nodes[at as usize] {
+                    l.next = right;
+                }
+                (Some((sep, right)), None)
+            }
+            Node::Inner(inner) => {
+                let i = inner.seps.upper_bound(key);
+                let child = inner.children[i];
+                let (split, old) = self.insert_rec(child, key, value);
+                let Some((sep, right)) = split else {
+                    return (None, old);
+                };
+                let truncate = self.prefix_truncation;
+                let Node::Inner(inner) = &mut self.nodes[at as usize] else {
+                    unreachable!("node kind changed")
+                };
+                let pos = inner.seps.lower_bound(&sep);
+                inner.seps.insert_at(pos, &sep, truncate);
+                inner.children.insert(pos + 1, right);
+                if inner.seps.len() < FANOUT {
+                    return (None, old);
+                }
+                // Split the inner node; the middle separator moves up.
+                let mid = inner.seps.len() / 2;
+                let up = inner.seps.full_key(mid);
+                let mut rk = inner.seps.split_off(mid, truncate);
+                // Drop the promoted separator from the right half.
+                let promoted = rk.suffixes.remove(0);
+                debug_assert_eq!(
+                    {
+                        let mut k = rk.prefix.clone();
+                        k.extend_from_slice(&promoted);
+                        k
+                    },
+                    up
+                );
+                if truncate {
+                    rk.retighten();
+                    inner.seps.retighten();
+                }
+                let rc = inner.children.split_off(mid + 1);
+                self.nodes.push(Node::Inner(InnerNode { seps: rk, children: rc }));
+                let right = (self.nodes.len() - 1) as u32;
+                (Some((up, right)), old)
+            }
+        };
+        (sep_right, old)
+    }
+
+    /// Range scan: values of up to `count` keys `>= start`, in key order.
+    pub fn scan(&self, start: &[u8], count: usize) -> Vec<u64> {
+        let mut out = Vec::with_capacity(count.min(64));
+        let mut at = self.root;
+        while let Node::Inner(inner) = &self.nodes[at as usize] {
+            let i = inner.seps.upper_bound(start);
+            at = inner.children[i];
+        }
+        let mut pos = match &self.nodes[at as usize] {
+            Node::Leaf(leaf) => leaf.keys.lower_bound(start),
+            Node::Inner(_) => unreachable!(),
+        };
+        while let Node::Leaf(leaf) = &self.nodes[at as usize] {
+            while pos < leaf.keys.len() && out.len() < count {
+                out.push(leaf.values[pos]);
+                pos += 1;
+            }
+            if out.len() >= count || leaf.next == NO_NODE {
+                break;
+            }
+            at = leaf.next;
+            pos = 0;
+        }
+        out
+    }
+}
+
+/// Shortest separator `s` with `left < s <= right` (suffix truncation):
+/// one byte past the common prefix of the split point's neighbours.
+fn shortest_separator(left: &[u8], right: &[u8]) -> Vec<u8> {
+    debug_assert!(left < right);
+    let m = lcp(left, right);
+    // `right[..m+1]` is > left (differs at m, or left ends at m) and a
+    // prefix of right, hence <= right.
+    right[..(m + 1).min(right.len())].to_vec()
+}
+
+#[inline]
+fn lcp(a: &[u8], b: &[u8]) -> usize {
+    a.iter().zip(b).take_while(|(x, y)| x == y).count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use std::collections::BTreeMap;
+
+    fn both() -> [BPlusTree; 2] {
+        [BPlusTree::plain(), BPlusTree::prefix()]
+    }
+
+    #[test]
+    fn insert_get_small() {
+        for mut t in both() {
+            assert_eq!(t.insert(b"banana", 2), None);
+            assert_eq!(t.insert(b"apple", 1), None);
+            assert_eq!(t.insert(b"cherry", 3), None);
+            assert_eq!(t.get(b"apple"), Some(1));
+            assert_eq!(t.get(b"banana"), Some(2));
+            assert_eq!(t.get(b"cherry"), Some(3));
+            assert_eq!(t.get(b"durian"), None);
+            assert_eq!(t.len(), 3);
+        }
+    }
+
+    #[test]
+    fn update_in_place() {
+        for mut t in both() {
+            t.insert(b"k", 1);
+            assert_eq!(t.insert(b"k", 9), Some(1));
+            assert_eq!(t.len(), 1);
+            assert_eq!(t.get(b"k"), Some(9));
+        }
+    }
+
+    #[test]
+    fn splits_preserve_order() {
+        for mut t in both() {
+            let n = 500u64;
+            for i in 0..n {
+                t.insert(format!("key{:06}", i * 7 % n).as_bytes(), i);
+            }
+            assert_eq!(t.len() as u64, n);
+            for i in 0..n {
+                let k = format!("key{:06}", i * 7 % n);
+                assert_eq!(t.get(k.as_bytes()), Some(i), "{k}");
+            }
+            assert!(t.height() > 1);
+        }
+    }
+
+    #[test]
+    fn scan_across_leaves() {
+        for mut t in both() {
+            for i in 0..100u64 {
+                t.insert(format!("user{i:04}").as_bytes(), i);
+            }
+            let got = t.scan(b"user0050", 10);
+            assert_eq!(got, (50..60).collect::<Vec<u64>>());
+            let got = t.scan(b"", 5);
+            assert_eq!(got, (0..5).collect::<Vec<u64>>());
+            assert!(t.scan(b"zzz", 5).is_empty());
+        }
+    }
+
+    #[test]
+    fn prefix_variant_uses_less_memory_on_shared_prefixes() {
+        let mut plain = BPlusTree::plain();
+        let mut pfx = BPlusTree::prefix();
+        for i in 0..2000u64 {
+            let k = format!("http://www.example.com/very/long/shared/path/item{i:06}");
+            plain.insert(k.as_bytes(), i);
+            pfx.insert(k.as_bytes(), i);
+        }
+        assert!(
+            pfx.memory_bytes() < plain.memory_bytes(),
+            "prefix {} vs plain {}",
+            pfx.memory_bytes(),
+            plain.memory_bytes()
+        );
+        for i in (0..2000u64).step_by(97) {
+            let k = format!("http://www.example.com/very/long/shared/path/item{i:06}");
+            assert_eq!(pfx.get(k.as_bytes()), Some(i));
+        }
+    }
+
+    #[test]
+    fn shortest_separator_properties() {
+        let cases: [(&[u8], &[u8]); 4] = [
+            (b"abcdef", b"abd"),
+            (b"a", b"b"),
+            (b"abc", b"abcd"),
+            (b"", b"x"),
+        ];
+        for (l, r) in cases {
+            let s = shortest_separator(l, r);
+            assert!(l < s.as_slice(), "{l:?} {r:?} -> {s:?}");
+            assert!(s.as_slice() <= r, "{l:?} {r:?} -> {s:?}");
+        }
+    }
+
+    #[test]
+    fn empty_key_supported() {
+        for mut t in both() {
+            t.insert(b"", 42);
+            t.insert(b"a", 1);
+            assert_eq!(t.get(b""), Some(42));
+            assert_eq!(t.scan(b"", 2), vec![42, 1]);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+        #[test]
+        fn behaves_like_btreemap(
+            ops in proptest::collection::vec(
+                (proptest::collection::vec(any::<u8>(), 0..20), any::<u64>()), 1..300),
+            probes in proptest::collection::vec(
+                proptest::collection::vec(any::<u8>(), 0..20), 0..40),
+            start in proptest::collection::vec(any::<u8>(), 0..20),
+        ) {
+            for mut t in both() {
+                let mut model = BTreeMap::new();
+                for (k, v) in &ops {
+                    prop_assert_eq!(t.insert(k, *v), model.insert(k.clone(), *v));
+                }
+                prop_assert_eq!(t.len(), model.len());
+                for (k, v) in &model {
+                    prop_assert_eq!(t.get(k), Some(*v));
+                }
+                for p in &probes {
+                    prop_assert_eq!(t.get(p), model.get(p).copied());
+                }
+                let want: Vec<u64> = model.range(start.clone()..).take(25).map(|(_, v)| *v).collect();
+                prop_assert_eq!(t.scan(&start, 25), want);
+            }
+        }
+    }
+}

@@ -1,0 +1,262 @@
+//! The HOPE build pipeline (§4.1, Figure 5): Symbol Selector → Code
+//! Assigner → Dictionary → Encoder, with per-module timing (Figure 9).
+
+use std::time::{Duration, Instant};
+
+use crate::axis::IntervalSet;
+use crate::bitpack::EncodedKey;
+use crate::code_assign::CodeAssigner;
+use crate::decoder::Decoder;
+use crate::dict::Dict;
+use crate::encoder::Encoder;
+use crate::selector::{self, Scheme};
+
+/// Errors from the build phase.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum HopeError {
+    /// The sampled key list was empty and the scheme needs statistics.
+    EmptySample,
+    /// Target dictionary size was zero.
+    ZeroDictionarySize,
+}
+
+impl std::fmt::Display for HopeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            HopeError::EmptySample => write!(f, "sampled key list is empty"),
+            HopeError::ZeroDictionarySize => write!(f, "dictionary size must be positive"),
+        }
+    }
+}
+
+impl std::error::Error for HopeError {}
+
+/// Wall-clock breakdown of the build phase, one entry per module (the
+/// quantities Figure 9 reports).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct BuildTimings {
+    /// Symbol Selector: pattern counting, interval division, test encoding.
+    pub symbol_select: Duration,
+    /// Code Assigner: fixed-length or Hu-Tucker construction.
+    pub code_assign: Duration,
+    /// Dictionary: populating the lookup structure.
+    pub dictionary_build: Duration,
+}
+
+impl BuildTimings {
+    /// Total build time.
+    pub fn total(&self) -> Duration {
+        self.symbol_select + self.code_assign + self.dictionary_build
+    }
+}
+
+/// Configuration for building a [`Hope`] encoder.
+#[derive(Debug, Clone)]
+pub struct HopeBuilder {
+    scheme: Scheme,
+    target_entries: usize,
+}
+
+impl HopeBuilder {
+    /// Builder for the given scheme with the paper's default dictionary
+    /// size (64K entries for the variable-size schemes).
+    pub fn new(scheme: Scheme) -> Self {
+        HopeBuilder { scheme, target_entries: 1 << 16 }
+    }
+
+    /// Set the target number of dictionary entries (ignored by the
+    /// fixed-size Single-Char / Double-Char schemes).
+    pub fn dictionary_entries(mut self, n: usize) -> Self {
+        self.target_entries = n;
+        self
+    }
+
+    /// Build from sampled keys. The sample affects only the compression
+    /// rate; any HOPE dictionary encodes arbitrary keys order-preservingly
+    /// (§4.1).
+    pub fn build_from_sample<I>(self, sample: I) -> Result<Hope, HopeError>
+    where
+        I: IntoIterator<Item = Vec<u8>>,
+    {
+        let sample: Vec<Vec<u8>> = sample.into_iter().collect();
+        if self.target_entries == 0 {
+            return Err(HopeError::ZeroDictionarySize);
+        }
+        if sample.is_empty() && self.scheme.fixed_dict_size().is_none() {
+            return Err(HopeError::EmptySample);
+        }
+
+        // Module 1: Symbol Selector (interval division + test encoding).
+        let t0 = Instant::now();
+        let set = selector::select_intervals(self.scheme, &sample, self.target_entries);
+        let weights = selector::access_weights(&set, &sample);
+        let symbol_select = t0.elapsed();
+
+        // Module 2: Code Assigner.
+        let t1 = Instant::now();
+        let assigner = if self.scheme.uses_hu_tucker() {
+            CodeAssigner::HuTucker
+        } else {
+            CodeAssigner::FixedLength
+        };
+        let codes = assigner.assign(&weights);
+        let code_assign = t1.elapsed();
+
+        // Module 3: Dictionary.
+        let t2 = Instant::now();
+        let dict = Dict::build(self.scheme, &set, &codes);
+        let dictionary_build = t2.elapsed();
+
+        let reuse_gram = match self.scheme {
+            Scheme::SingleChar => Some(1),
+            Scheme::DoubleChar => Some(2),
+            Scheme::ThreeGrams => Some(3),
+            Scheme::FourGrams => Some(4),
+            Scheme::Alm | Scheme::AlmImproved => None,
+        };
+
+        Ok(Hope {
+            scheme: self.scheme,
+            encoder: Encoder::new(dict, reuse_gram),
+            intervals: set,
+            codes,
+            timings: BuildTimings { symbol_select, code_assign, dictionary_build },
+        })
+    }
+}
+
+/// A built HOPE compressor: dictionary + encoder, ready for the encode
+/// phase.
+#[derive(Debug)]
+pub struct Hope {
+    scheme: Scheme,
+    encoder: Encoder,
+    intervals: IntervalSet,
+    codes: Vec<crate::bitpack::Code>,
+    timings: BuildTimings,
+}
+
+impl Hope {
+    /// The scheme this compressor was built with.
+    pub fn scheme(&self) -> Scheme {
+        self.scheme
+    }
+
+    /// Encode one key (order-preserving, lossless).
+    #[inline]
+    pub fn encode(&self, key: &[u8]) -> EncodedKey {
+        self.encoder.encode(key)
+    }
+
+    /// Encode a sorted batch with prefix reuse (Appendix B).
+    pub fn encode_batch(&self, keys: &[&[u8]], block_size: usize) -> Vec<EncodedKey> {
+        self.encoder.encode_batch(keys, block_size)
+    }
+
+    /// Pair-encode closed-range query boundaries.
+    pub fn encode_pair(&self, low: &[u8], high: &[u8]) -> (EncodedKey, EncodedKey) {
+        self.encoder.encode_pair(low, high)
+    }
+
+    /// Access the low-level encoder.
+    pub fn encoder(&self) -> &Encoder {
+        &self.encoder
+    }
+
+    /// Build the (optional) verification decoder for this dictionary.
+    pub fn decoder(&self) -> Decoder {
+        let symbols: Vec<Box<[u8]>> =
+            (0..self.intervals.len()).map(|i| self.intervals.symbol(i).into()).collect();
+        Decoder::new(&self.codes, symbols)
+    }
+
+    /// Number of dictionary entries.
+    pub fn dict_entries(&self) -> usize {
+        self.encoder.dict().num_entries()
+    }
+
+    /// Memory footprint of the dictionary structure in bytes.
+    pub fn dict_memory_bytes(&self) -> usize {
+        self.encoder.dict().memory_bytes()
+    }
+
+    /// Build-phase timing breakdown (Figure 9).
+    pub fn timings(&self) -> BuildTimings {
+        self.timings
+    }
+
+    /// The interval division backing the dictionary (inspection/tests).
+    pub fn intervals(&self) -> &IntervalSet {
+        &self.intervals
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Vec<Vec<u8>> {
+        (0..200)
+            .map(|i| format!("com.gmail@user{i:04}").into_bytes())
+            .collect()
+    }
+
+    #[test]
+    fn builds_every_scheme() {
+        for scheme in Scheme::ALL {
+            let hope = HopeBuilder::new(scheme)
+                .dictionary_entries(1024)
+                .build_from_sample(sample())
+                .unwrap_or_else(|e| panic!("{scheme}: {e}"));
+            assert!(hope.dict_entries() > 0);
+            assert!(hope.dict_memory_bytes() > 0);
+            assert!(hope.timings().total() > Duration::ZERO);
+            let e = hope.encode(b"com.gmail@user0007");
+            assert!(e.bit_len() > 0);
+        }
+    }
+
+    #[test]
+    fn fixed_schemes_build_from_empty_sample() {
+        let hope = HopeBuilder::new(Scheme::SingleChar)
+            .build_from_sample(Vec::<Vec<u8>>::new())
+            .unwrap();
+        assert_eq!(hope.dict_entries(), 256);
+    }
+
+    #[test]
+    fn variable_schemes_reject_empty_sample() {
+        let err = HopeBuilder::new(Scheme::ThreeGrams)
+            .build_from_sample(Vec::<Vec<u8>>::new())
+            .unwrap_err();
+        assert_eq!(err, HopeError::EmptySample);
+    }
+
+    #[test]
+    fn zero_dict_size_rejected() {
+        let err = HopeBuilder::new(Scheme::ThreeGrams)
+            .dictionary_entries(0)
+            .build_from_sample(sample())
+            .unwrap_err();
+        assert_eq!(err, HopeError::ZeroDictionarySize);
+    }
+
+    #[test]
+    fn roundtrip_through_public_api() {
+        let hope = HopeBuilder::new(Scheme::FourGrams)
+            .dictionary_entries(512)
+            .build_from_sample(sample())
+            .unwrap();
+        let dec = hope.decoder();
+        for key in ["com.gmail@user0000", "unrelated", "", "com"] {
+            let e = hope.encode(key.as_bytes());
+            assert_eq!(dec.decode(&e).unwrap(), key.as_bytes());
+        }
+    }
+
+    #[test]
+    fn error_display() {
+        assert!(HopeError::EmptySample.to_string().contains("empty"));
+        assert!(HopeError::ZeroDictionarySize.to_string().contains("positive"));
+    }
+}

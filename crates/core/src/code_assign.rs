@@ -1,0 +1,170 @@
+//! Code Assigners (§4.2): map per-interval access weights to monotonically
+//! increasing prefix codes.
+//!
+//! Two assigners exist, matching Table 1:
+//! * **fixed-length** — `ceil(log2 N)`-bit consecutive integers (ALM);
+//! * **Hu-Tucker** — optimal order-preserving prefix codes (all others).
+
+use crate::bitpack::Code;
+use crate::hu_tucker;
+
+/// Which code assigner a scheme uses.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CodeAssigner {
+    /// Monotone fixed-length codes of `ceil(log2 N)` bits.
+    FixedLength,
+    /// Optimal order-preserving prefix codes (Hu-Tucker via Garsia–Wachs).
+    HuTucker,
+}
+
+impl CodeAssigner {
+    /// Assign one code per weight. The result is always monotonically
+    /// increasing in bitstring order and prefix-free.
+    pub fn assign(&self, weights: &[u64]) -> Vec<Code> {
+        match self {
+            CodeAssigner::FixedLength => hu_tucker::fixed_len_codes(weights.len()),
+            CodeAssigner::HuTucker => hu_tucker::hu_tucker_codes(weights),
+        }
+    }
+}
+
+/// Verify the two structural properties order preservation rests on
+/// (§3.1): codes strictly increase in bitstring order, and no code is a
+/// prefix of its successor (with monotonicity this implies global
+/// prefix-freedom). Used by tests and debug assertions.
+pub fn codes_are_order_preserving(codes: &[Code]) -> bool {
+    codes.windows(2).all(|w| {
+        w[0].cmp_bitstring(&w[1]) == std::cmp::Ordering::Less && !w[0].is_prefix_of(&w[1])
+    })
+}
+
+/// Range-Encoding code assignment — the alternative §4.2 mentions and
+/// rejects: "Range Encoding requires more bits than Hu-Tucker to ensure
+/// that codes are exactly on range boundaries to guarantee
+/// order-preserving". Implemented here as an ablation so that claim can be
+/// measured (see the `bench_hu_tucker` Criterion bench and the unit tests
+/// below).
+///
+/// Interval `i` occupies the probability range `[cum_i, cum_{i+1})`; its
+/// code is the shortest dyadic interval fully inside that range, which
+/// costs up to two bits more than `-log2(p_i)`.
+pub fn range_encoding_codes(weights: &[u64]) -> Vec<Code> {
+    let n = weights.len();
+    assert!(n > 0);
+    if n == 1 {
+        return vec![Code::new(0, 1)];
+    }
+    let total: u128 = weights.iter().map(|&w| (w.max(1)) as u128).sum();
+    let mut codes = Vec::with_capacity(n);
+    let mut cum: u128 = 0;
+    for &w in weights {
+        let w = w.max(1) as u128;
+        let lo = cum;
+        let hi = cum + w;
+        cum = hi;
+        let mut assigned = None;
+        for len in 1..=crate::hu_tucker::MAX_CODE_LEN {
+            // Find the smallest dyadic cell [c, c+1)/2^len inside
+            // [lo, hi)/total: c = ceil(lo * 2^len / total).
+            let scale = 1u128 << len;
+            let c = (lo * scale).div_ceil(total);
+            if (c + 1) * total <= hi * scale {
+                assigned = Some(Code::new(c as u64, len as u8));
+                break;
+            }
+        }
+        codes.push(assigned.expect("a dyadic cell fits within 64 bits"));
+    }
+    debug_assert!(codes_are_order_preserving(&codes));
+    codes
+}
+
+/// Expected code length `sum(p_i * len_i)` under the given weights — the
+/// quantity the Hu-Tucker-vs-Range-Encoding ablation compares.
+pub fn expected_code_length(weights: &[u64], codes: &[Code]) -> f64 {
+    let total: u128 = weights.iter().map(|&w| w as u128).sum();
+    if total == 0 {
+        return 0.0;
+    }
+    let bits: u128 = weights
+        .iter()
+        .zip(codes)
+        .map(|(&w, c)| w as u128 * c.len as u128)
+        .sum();
+    bits as f64 / total as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixed_length_assigner() {
+        let codes = CodeAssigner::FixedLength.assign(&[5, 1, 9]);
+        assert_eq!(codes.len(), 3);
+        assert!(codes.iter().all(|c| c.len == 2));
+        assert!(codes_are_order_preserving(&codes));
+    }
+
+    #[test]
+    fn hu_tucker_assigner_favors_heavy_intervals() {
+        let codes = CodeAssigner::HuTucker.assign(&[100, 1, 1, 1]);
+        assert!(codes[0].len < codes[2].len);
+        assert!(codes_are_order_preserving(&codes));
+    }
+
+    #[test]
+    fn monotone_prefix_free_check_rejects_bad_codes() {
+        let bad = vec![Code::new(0b0, 1), Code::new(0b01, 2)]; // prefix
+        assert!(!codes_are_order_preserving(&bad));
+        let unordered = vec![Code::new(0b1, 1), Code::new(0b0, 1)];
+        assert!(!codes_are_order_preserving(&unordered));
+    }
+
+    #[test]
+    fn range_encoding_is_valid_but_never_beats_hu_tucker() {
+        // The §4.2 claim: Range Encoding pays extra bits for alignment.
+        let cases: Vec<Vec<u64>> = vec![
+            vec![100, 1, 1, 1],
+            vec![1; 16],
+            vec![5, 10, 15, 20, 25, 25],
+            vec![1, 1000, 1, 1000, 1],
+        ];
+        for w in cases {
+            let re = range_encoding_codes(&w);
+            assert!(codes_are_order_preserving(&re), "{w:?}");
+            let ht = CodeAssigner::HuTucker.assign(&w);
+            let e_re = expected_code_length(&w, &re);
+            let e_ht = expected_code_length(&w, &ht);
+            assert!(
+                e_ht <= e_re + 1e-9,
+                "weights {w:?}: Hu-Tucker {e_ht:.3} vs Range {e_re:.3}"
+            );
+        }
+    }
+
+    #[test]
+    fn range_encoding_single_entry() {
+        assert_eq!(range_encoding_codes(&[7]), vec![Code::new(0, 1)]);
+    }
+
+    proptest::proptest! {
+        #[test]
+        fn range_encoding_random_weights(
+            w in proptest::collection::vec(0u64..100_000, 1..300)
+        ) {
+            let re = range_encoding_codes(&w);
+            proptest::prop_assert!(codes_are_order_preserving(&re) || re.len() == 1);
+            // Shannon bound + 2 alignment bits per symbol.
+            let total: f64 = w.iter().map(|&x| x.max(1) as f64).sum();
+            for (x, c) in w.iter().zip(&re) {
+                let p = (*x).max(1) as f64 / total;
+                let bound = (-p.log2()).ceil() + 2.0;
+                proptest::prop_assert!(
+                    (c.len as f64) <= bound,
+                    "p={p} len={} bound={bound}", c.len
+                );
+            }
+        }
+    }
+}

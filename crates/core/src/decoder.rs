@@ -1,0 +1,166 @@
+//! Verification decoder.
+//!
+//! The paper deliberately skips building decoders ("our target search tree
+//! queries need not reconstruct the original keys"), but notes the encoding
+//! is lossless. This module provides the lossless inverse used by the test
+//! suite to prove unique decodability (§3.1): a binary trie over the code
+//! set maps the encoded bitstream back to interval symbols.
+
+use crate::bitpack::{BitReader, Code, EncodedKey};
+
+/// Binary code trie: node `i` has children `2i+1` (bit 0) and `2i+2`-style
+/// links stored explicitly, leaves carry the interval index.
+#[derive(Debug)]
+pub struct Decoder {
+    /// `nodes[i] = [zero_child, one_child]`; `u32::MAX` = absent.
+    nodes: Vec<[u32; 2]>,
+    /// Leaf payload per node (interval index), `u32::MAX` if internal.
+    leaf: Vec<u32>,
+    /// Interval symbols, indexed by interval.
+    symbols: Vec<Box<[u8]>>,
+}
+
+const ABSENT: u32 = u32::MAX;
+
+impl Decoder {
+    /// Build from the interval codes and symbols.
+    ///
+    /// # Panics
+    /// Panics if the codes are not prefix-free (a violation of §3.1).
+    pub fn new(codes: &[Code], symbols: Vec<Box<[u8]>>) -> Self {
+        assert_eq!(codes.len(), symbols.len());
+        let mut dec = Decoder { nodes: vec![[ABSENT; 2]], leaf: vec![ABSENT], symbols };
+        for (i, code) in codes.iter().enumerate() {
+            let mut at = 0usize;
+            for b in (0..code.len).rev() {
+                let bit = ((code.bits >> b) & 1) as usize;
+                assert_eq!(dec.leaf[at], ABSENT, "code {i} extends another code");
+                if dec.nodes[at][bit] == ABSENT {
+                    dec.nodes[at][bit] = dec.nodes.len() as u32;
+                    dec.nodes.push([ABSENT; 2]);
+                    dec.leaf.push(ABSENT);
+                }
+                at = dec.nodes[at][bit] as usize;
+            }
+            assert_eq!(dec.leaf[at], ABSENT, "duplicate code for interval {i}");
+            assert_eq!(dec.nodes[at], [ABSENT; 2], "code {i} is a prefix of another code");
+            dec.leaf[at] = i as u32;
+        }
+        dec
+    }
+
+    /// Decode an encoded key back to the original bytes.
+    ///
+    /// Returns `None` if the bitstream does not end exactly on a code
+    /// boundary (impossible for encoder output; indicates corruption).
+    pub fn decode(&self, key: &EncodedKey) -> Option<Vec<u8>> {
+        let mut out = Vec::with_capacity(key.byte_len() * 2);
+        let mut r = BitReader::new(key);
+        let mut at = 0usize;
+        loop {
+            if self.leaf[at] != ABSENT {
+                out.extend_from_slice(&self.symbols[self.leaf[at] as usize]);
+                at = 0;
+                if r.remaining() == 0 {
+                    return Some(out);
+                }
+                continue;
+            }
+            match r.next_bit() {
+                Some(bit) => {
+                    let next = self.nodes[at][bit as usize];
+                    if next == ABSENT {
+                        return None;
+                    }
+                    at = next as usize;
+                }
+                None => return if at == 0 { Some(out) } else { None },
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::code_assign::CodeAssigner;
+    use crate::dict::Dict;
+    use crate::encoder::Encoder;
+    use crate::selector::{self, Scheme};
+    use proptest::prelude::*;
+
+    fn roundtrip_scheme(scheme: Scheme, sample: &[Vec<u8>], keys: &[Vec<u8>]) {
+        let set = selector::select_intervals(scheme, sample, 512);
+        let weights = selector::access_weights(&set, sample);
+        let assigner =
+            if scheme.uses_hu_tucker() { CodeAssigner::HuTucker } else { CodeAssigner::FixedLength };
+        let codes = assigner.assign(&weights);
+        let symbols: Vec<Box<[u8]>> = (0..set.len()).map(|i| set.symbol(i).into()).collect();
+        let dict = Dict::build(scheme, &set, &codes);
+        let enc = Encoder::new(dict, None);
+        let dec = Decoder::new(&codes, symbols);
+        for key in keys {
+            let e = enc.encode(key);
+            let back = dec.decode(&e);
+            assert_eq!(back.as_deref(), Some(key.as_slice()), "{scheme}: key {key:?}");
+        }
+    }
+
+    fn sample() -> Vec<Vec<u8>> {
+        ["information", "informal", "informant", "covert", "cover", "coverage"]
+            .iter()
+            .map(|s| s.as_bytes().to_vec())
+            .collect()
+    }
+
+    #[test]
+    fn lossless_roundtrip_all_schemes() {
+        let s = sample();
+        let keys: Vec<Vec<u8>> = [
+            "info", "informant", "unseen-key", "c", "", "\u{0}\u{0}",
+            "zzzz", "informationally",
+        ]
+        .iter()
+        .map(|s| s.as_bytes().to_vec())
+        .collect();
+        for scheme in Scheme::ALL {
+            roundtrip_scheme(scheme, &s, &keys);
+        }
+    }
+
+    #[test]
+    fn rejects_prefix_violating_codes() {
+        let codes = vec![Code::new(0b0, 1), Code::new(0b01, 2)];
+        let symbols = vec![b"a".to_vec().into_boxed_slice(), b"b".to_vec().into_boxed_slice()];
+        let r = std::panic::catch_unwind(|| Decoder::new(&codes, symbols));
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn corrupt_stream_detected() {
+        let codes = vec![Code::new(0b10, 2), Code::new(0b11, 2)];
+        let symbols = vec![b"x".to_vec().into_boxed_slice(), b"y".to_vec().into_boxed_slice()];
+        let dec = Decoder::new(&codes, symbols);
+        // "1" alone is a dangling half-code.
+        let bad = EncodedKey::from_parts(vec![0b1000_0000], 1);
+        assert_eq!(dec.decode(&bad), None);
+        // "0" hits an absent branch.
+        let bad = EncodedKey::from_parts(vec![0b0000_0000], 1);
+        assert_eq!(dec.decode(&bad), None);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+        #[test]
+        fn random_keys_roundtrip(
+            sample in proptest::collection::vec(
+                proptest::collection::vec(any::<u8>(), 1..16), 1..12),
+            keys in proptest::collection::vec(
+                proptest::collection::vec(any::<u8>(), 0..24), 1..24),
+        ) {
+            for scheme in [Scheme::DoubleChar, Scheme::ThreeGrams, Scheme::AlmImproved] {
+                roundtrip_scheme(scheme, &sample, &keys);
+            }
+        }
+    }
+}

@@ -1,0 +1,160 @@
+//! Array dictionaries for the fixed-interval schemes (§4.2).
+//!
+//! The dictionary symbols and interval boundaries are implied by array
+//! offsets, so an entry stores only the code. Matching the paper, an entry
+//! is an 8-bit code length plus a 32-bit code; if Hu-Tucker ever emits a
+//! code longer than 32 bits (possible only under extreme skew) the array
+//! transparently widens to 64-bit storage.
+
+use super::DictLookup;
+use crate::bitpack::Code;
+use crate::selector::double_char::{double_char_slot, DOUBLE_CHAR_ENTRIES};
+
+/// Code storage shared by both array dictionaries: parallel `bits`/`len`
+/// arrays, 32-bit entries in the common case.
+#[derive(Debug)]
+enum CodeArray {
+    Narrow { bits: Vec<u32>, len: Vec<u8> },
+    Wide { bits: Vec<u64>, len: Vec<u8> },
+}
+
+impl CodeArray {
+    fn new(codes: &[Code]) -> Self {
+        let len: Vec<u8> = codes.iter().map(|c| c.len).collect();
+        if codes.iter().all(|c| c.len <= 32) {
+            CodeArray::Narrow { bits: codes.iter().map(|c| c.bits as u32).collect(), len }
+        } else {
+            CodeArray::Wide { bits: codes.iter().map(|c| c.bits).collect(), len }
+        }
+    }
+
+    #[inline]
+    fn get(&self, i: usize) -> Code {
+        match self {
+            CodeArray::Narrow { bits, len } => Code { bits: bits[i] as u64, len: len[i] },
+            CodeArray::Wide { bits, len } => Code { bits: bits[i], len: len[i] },
+        }
+    }
+
+    fn memory_bytes(&self) -> usize {
+        match self {
+            CodeArray::Narrow { bits, len } => bits.len() * 4 + len.len(),
+            CodeArray::Wide { bits, len } => bits.len() * 8 + len.len(),
+        }
+    }
+
+}
+
+/// 256-entry array dictionary for Single-Char: the lookup is a single
+/// (L1-resident) array access.
+#[derive(Debug)]
+pub struct SingleCharDict {
+    codes: CodeArray,
+}
+
+impl SingleCharDict {
+    /// Wrap the 256 per-byte codes.
+    pub fn new(codes: &[Code]) -> Self {
+        assert_eq!(codes.len(), 256, "Single-Char dictionary must have 256 entries");
+        SingleCharDict { codes: CodeArray::new(codes) }
+    }
+}
+
+impl DictLookup for SingleCharDict {
+    #[inline]
+    fn lookup(&self, src: &[u8]) -> (Code, usize) {
+        debug_assert!(!src.is_empty());
+        (self.codes.get(src[0] as usize), 1)
+    }
+
+    fn memory_bytes(&self) -> usize {
+        self.codes.memory_bytes()
+    }
+
+    fn num_entries(&self) -> usize {
+        256
+    }
+}
+
+/// 65 792-entry array dictionary for Double-Char, with one terminator slot
+/// per leading byte (see [`crate::selector::double_char`] for the layout).
+#[derive(Debug)]
+pub struct DoubleCharDict {
+    codes: CodeArray,
+}
+
+impl DoubleCharDict {
+    /// Wrap the 256·257 per-pair codes.
+    pub fn new(codes: &[Code]) -> Self {
+        assert_eq!(
+            codes.len(),
+            DOUBLE_CHAR_ENTRIES,
+            "Double-Char dictionary must have 256*257 entries"
+        );
+        DoubleCharDict { codes: CodeArray::new(codes) }
+    }
+}
+
+impl DictLookup for DoubleCharDict {
+    #[inline]
+    fn lookup(&self, src: &[u8]) -> (Code, usize) {
+        debug_assert!(!src.is_empty());
+        let slot = double_char_slot(src);
+        (self.codes.get(slot), if src.len() >= 2 { 2 } else { 1 })
+    }
+
+    fn memory_bytes(&self) -> usize {
+        self.codes.memory_bytes()
+    }
+
+    fn num_entries(&self) -> usize {
+        DOUBLE_CHAR_ENTRIES
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fixed_codes(n: usize) -> Vec<Code> {
+        crate::hu_tucker::fixed_len_codes(n)
+    }
+
+    #[test]
+    fn single_char_lookup_is_byte_indexed() {
+        let d = SingleCharDict::new(&fixed_codes(256));
+        let (c, consumed) = d.lookup(b"az");
+        assert_eq!(consumed, 1);
+        assert_eq!(c.bits, b'a' as u64);
+        assert_eq!(d.num_entries(), 256);
+    }
+
+    #[test]
+    fn single_char_memory_matches_paper_entry_size() {
+        // 8-bit length + 32-bit code per entry.
+        let d = SingleCharDict::new(&fixed_codes(256));
+        assert_eq!(d.memory_bytes(), 256 * 5);
+    }
+
+    #[test]
+    fn double_char_consumes_two_bytes_when_available() {
+        let d = DoubleCharDict::new(&fixed_codes(DOUBLE_CHAR_ENTRIES));
+        let (c, consumed) = d.lookup(b"aa rest");
+        assert_eq!(consumed, 2);
+        assert_eq!(c.bits, 97 * 257 + 97 + 1);
+        let (c, consumed) = d.lookup(b"a");
+        assert_eq!(consumed, 1);
+        assert_eq!(c.bits, 97 * 257);
+    }
+
+    #[test]
+    fn wide_storage_kicks_in_for_long_codes() {
+        let mut codes = fixed_codes(256);
+        codes[255] = Code::new(0x1_FFFF_FFFF, 40);
+        let d = SingleCharDict::new(&codes);
+        let (c, _) = d.lookup(b"\xff");
+        assert_eq!(c.len, 40);
+        assert_eq!(c.bits, 0x1_FFFF_FFFF);
+        assert_eq!(d.memory_bytes(), 256 * 9);
+    }
+}

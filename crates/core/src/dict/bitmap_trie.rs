@@ -1,0 +1,321 @@
+//! Bitmap-trie dictionary for the 3-Grams / 4-Grams schemes (§4.2,
+//! Figure 6).
+//!
+//! Nodes live in a breadth-first array. Each node holds a 256-bit bitmap of
+//! its branches plus base offsets; child addressing uses POPCNT over the
+//! bitmap. Interval boundaries shorter than the gram length terminate early
+//! (the paper's terminator character ∅), recorded by a per-node flag.
+//!
+//! A lookup is a *floor* search: walk down matching the source bytes,
+//! remembering the best smaller boundary seen (terminator slots and the
+//! rightmost leaf of any smaller sibling subtree) as a last resort for when
+//! the walk falls off the trie.
+
+use super::DictLookup;
+use crate::axis::IntervalSet;
+use crate::bitpack::Code;
+
+/// One trie node: 256-bit branch bitmap + subtree bookkeeping.
+#[derive(Debug, Clone)]
+struct Node {
+    bitmap: [u64; 4],
+    /// Node index of the first child (children are consecutive in BFS
+    /// order); meaningless at the deepest level, where branches are leaves.
+    child_base: u32,
+    /// First and one-past-last interval index in this node's subtree.
+    leaf_base: u32,
+    leaf_end: u32,
+    /// True if a boundary ends exactly at this node (terminator ∅); that
+    /// boundary is interval `leaf_base`.
+    term: bool,
+}
+
+impl Node {
+    fn empty() -> Self {
+        Node { bitmap: [0; 4], child_base: 0, leaf_base: 0, leaf_end: 0, term: false }
+    }
+
+    #[inline]
+    fn has(&self, label: u8) -> bool {
+        self.bitmap[(label >> 6) as usize] >> (label & 63) & 1 == 1
+    }
+
+    #[inline]
+    fn set(&mut self, label: u8) {
+        self.bitmap[(label >> 6) as usize] |= 1 << (label & 63);
+    }
+
+    /// Number of set bits strictly below `label`.
+    #[inline]
+    fn rank(&self, label: u8) -> u32 {
+        let word = (label >> 6) as usize;
+        let mut r = 0;
+        for w in &self.bitmap[..word] {
+            r += w.count_ones();
+        }
+        let bit = label & 63;
+        if bit > 0 {
+            r += (self.bitmap[word] & ((1u64 << bit) - 1)).count_ones();
+        }
+        r
+    }
+
+    /// Largest set label strictly below `label`, if any.
+    #[inline]
+    fn prev_set(&self, label: u8) -> Option<u8> {
+        let word = (label >> 6) as usize;
+        let bit = label & 63;
+        let masked = if bit == 0 { 0 } else { self.bitmap[word] & ((1u64 << bit) - 1) };
+        if masked != 0 {
+            return Some(((word as u32) * 64 + 63 - masked.leading_zeros()) as u8);
+        }
+        for w in (0..word).rev() {
+            if self.bitmap[w] != 0 {
+                return Some(((w as u32) * 64 + 63 - self.bitmap[w].leading_zeros()) as u8);
+            }
+        }
+        None
+    }
+}
+
+/// The bitmap-trie dictionary (Figure 6).
+#[derive(Debug)]
+pub struct BitmapTrieDict {
+    nodes: Vec<Node>,
+    /// Per-node first-child offsets are implicit in `child_base`; leaves are
+    /// the interval indices themselves, payload in the arrays below.
+    code_bits: Vec<u64>,
+    code_len: Vec<u8>,
+    sym_len: Vec<u8>,
+    /// Gram length (trie depth): 3 or 4 in the paper, any >= 1 here.
+    depth: usize,
+}
+
+impl BitmapTrieDict {
+    /// Build from an interval set (all boundaries at most `N` bytes, as the
+    /// n-gram selectors produce) and its assigned codes.
+    pub fn build(set: &IntervalSet, codes: &[Code]) -> Self {
+        assert_eq!(set.len(), codes.len());
+        let depth = (0..set.len()).map(|i| set.boundary(i).len()).max().unwrap_or(1);
+        let mut dict = BitmapTrieDict {
+            nodes: Vec::new(),
+            code_bits: codes.iter().map(|c| c.bits).collect(),
+            code_len: codes.iter().map(|c| c.len).collect(),
+            sym_len: (0..set.len())
+                .map(|i| {
+                    let l = set.symbol_len(i);
+                    debug_assert!(l <= u8::MAX as usize);
+                    l as u8
+                })
+                .collect(),
+            depth,
+        };
+
+        // BFS construction: a work item is a contiguous boundary range
+        // sharing its first `d` bytes.
+        use std::collections::VecDeque;
+        let mut queue: VecDeque<(usize, usize, usize)> = VecDeque::new(); // (lo, hi, d)
+        queue.push_back((0, set.len(), 0));
+        let mut next_node_id: usize = 1;
+        while let Some((lo, hi, d)) = queue.pop_front() {
+            let mut node = Node::empty();
+            node.leaf_base = lo as u32;
+            node.leaf_end = hi as u32;
+            node.term = set.boundary(lo).len() == d;
+            let start = lo + node.term as usize;
+            // Group the remaining boundaries by their byte at position d.
+            let mut i = start;
+            let mut first_child = true;
+            while i < hi {
+                let label = set.boundary(i)[d];
+                let mut j = i + 1;
+                while j < hi && set.boundary(j)[d] == label {
+                    j += 1;
+                }
+                node.set(label);
+                if d + 1 == depth {
+                    // Deepest level: branches are leaves (full-length
+                    // boundaries); uniqueness follows from strict sorting.
+                    debug_assert_eq!(j - i, 1, "duplicate full-length boundary");
+                    debug_assert_eq!(set.boundary(i).len(), depth);
+                } else {
+                    if first_child {
+                        node.child_base = next_node_id as u32;
+                        first_child = false;
+                    }
+                    next_node_id += 1;
+                    queue.push_back((i, j, d + 1));
+                }
+                i = j;
+            }
+            dict.nodes.push(node);
+        }
+        debug_assert_eq!(dict.nodes.len(), next_node_id);
+        dict
+    }
+
+    /// Index of the child node reached via `label` from `node`.
+    #[inline]
+    fn child(&self, node: &Node, label: u8) -> usize {
+        node.child_base as usize + node.rank(label) as usize
+    }
+
+    /// Interval index of the leaf reached via `label` at the deepest level.
+    #[inline]
+    fn leaf_at(&self, node: &Node, label: u8) -> usize {
+        node.leaf_base as usize + node.term as usize + node.rank(label) as usize
+    }
+
+    /// Rightmost interval index in the subtree hanging off `label`.
+    #[inline]
+    fn branch_max(&self, node: &Node, label: u8, d: usize) -> usize {
+        if d + 1 == self.depth {
+            self.leaf_at(node, label)
+        } else {
+            self.nodes[self.child(node, label)].leaf_end as usize - 1
+        }
+    }
+
+    #[inline]
+    fn payload(&self, i: usize) -> (Code, usize) {
+        (Code { bits: self.code_bits[i], len: self.code_len[i] }, self.sym_len[i] as usize)
+    }
+
+    /// Trie depth (gram length).
+    pub fn depth(&self) -> usize {
+        self.depth
+    }
+
+    /// Number of trie nodes (for memory analysis).
+    pub fn num_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+}
+
+impl DictLookup for BitmapTrieDict {
+    #[inline]
+    fn lookup(&self, src: &[u8]) -> (Code, usize) {
+        debug_assert!(!src.is_empty());
+        let mut last_resort = usize::MAX;
+        let mut node = &self.nodes[0];
+        let mut d = 0usize;
+        loop {
+            if d >= src.len() {
+                // Source exhausted: exact boundary iff terminator.
+                let i = if node.term { node.leaf_base as usize } else { last_resort };
+                debug_assert_ne!(i, usize::MAX, "no floor boundary for {src:?}");
+                return self.payload(i);
+            }
+            let c = src[d];
+            if node.term {
+                last_resort = node.leaf_base as usize;
+            }
+            if let Some(below) = node.prev_set(c) {
+                last_resort = self.branch_max(node, below, d);
+            }
+            if node.has(c) {
+                if d + 1 == self.depth {
+                    return self.payload(self.leaf_at(node, c));
+                }
+                node = &self.nodes[self.child(node, c)];
+                d += 1;
+            } else {
+                debug_assert_ne!(last_resort, usize::MAX, "no floor boundary for {src:?}");
+                return self.payload(last_resort);
+            }
+        }
+    }
+
+    fn memory_bytes(&self) -> usize {
+        self.nodes.len() * std::mem::size_of::<Node>()
+            + self.code_bits.len() * 8
+            + self.code_len.len()
+            + self.sym_len.len()
+    }
+
+    fn num_entries(&self) -> usize {
+        self.code_bits.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dict::sorted_dict::SortedDict;
+    use crate::hu_tucker::fixed_len_codes;
+    use proptest::prelude::*;
+
+    fn build_pair(patterns: &[&[u8]]) -> (BitmapTrieDict, SortedDict) {
+        let pats: Vec<Vec<u8>> = patterns.iter().map(|p| p.to_vec()).collect();
+        let set = IntervalSet::from_patterns(&pats);
+        let codes = fixed_len_codes(set.len());
+        (BitmapTrieDict::build(&set, &codes), SortedDict::build(&set, &codes))
+    }
+
+    #[test]
+    fn basic_three_gram_lookups() {
+        let (trie, base) = build_pair(&[b"ing", b"ion"]);
+        for probe in [
+            b"ingest".as_slice(), b"inz", b"ion", b"io", b"i", b"a",
+            b"zzz", b"\x00", b"\xff\xff\xff\xff",
+        ] {
+            assert_eq!(trie.lookup(probe), base.lookup(probe), "probe {probe:?}");
+        }
+    }
+
+    #[test]
+    fn exhausted_source_hits_terminator() {
+        let (trie, base) = build_pair(&[b"abc"]);
+        // probe "ab": shorter than any pattern; must hit the [a, abc) gap
+        // boundary ("a" with symbol "a").
+        assert_eq!(trie.lookup(b"ab"), base.lookup(b"ab"));
+        let (_, consumed) = trie.lookup(b"ab");
+        assert_eq!(consumed, 1);
+    }
+
+    #[test]
+    fn node_bit_operations() {
+        let mut n = Node::empty();
+        n.set(0);
+        n.set(63);
+        n.set(64);
+        n.set(255);
+        assert!(n.has(0) && n.has(63) && n.has(64) && n.has(255));
+        assert!(!n.has(100));
+        assert_eq!(n.rank(0), 0);
+        assert_eq!(n.rank(64), 2);
+        assert_eq!(n.rank(255), 3);
+        assert_eq!(n.prev_set(255), Some(64));
+        assert_eq!(n.prev_set(64), Some(63));
+        assert_eq!(n.prev_set(0), None);
+        assert_eq!(n.prev_set(1), Some(0));
+    }
+
+    #[test]
+    fn depth_matches_longest_boundary() {
+        let (trie, _) = build_pair(&[b"abcd", b"abce"]);
+        assert_eq!(trie.depth(), 4);
+        let (trie, _) = build_pair(&[]);
+        assert_eq!(trie.depth(), 1);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(128))]
+        #[test]
+        fn trie_matches_binary_search(
+            pats in proptest::collection::btree_set(
+                proptest::collection::vec(any::<u8>(), 3), 0..60),
+            probes in proptest::collection::vec(
+                proptest::collection::vec(any::<u8>(), 1..8), 1..60),
+        ) {
+            let pats: Vec<Vec<u8>> = pats.into_iter().collect();
+            let set = IntervalSet::from_patterns(&pats);
+            let codes = fixed_len_codes(set.len());
+            let trie = BitmapTrieDict::build(&set, &codes);
+            let base = SortedDict::build(&set, &codes);
+            for p in &probes {
+                prop_assert_eq!(trie.lookup(p), base.lookup(p), "probe {:?}", p);
+            }
+        }
+    }
+}

@@ -1,0 +1,183 @@
+//! Dictionary data structures (§4.2): map a source suffix to the interval
+//! containing it, returning the interval's code and symbol length.
+//!
+//! Because intervals are connected and disjoint, a dictionary stores only
+//! the left boundary of each interval; a lookup is a *floor* ("greater than
+//! or equal to") search. Three structures are implemented, matching
+//! Table 1, plus a binary-search baseline used for testing and for the
+//! §4.2 ablation ("2.3× faster than binary-searching the entries"):
+//!
+//! * [`array_dict`] — O(1) arrays for Single-Char / Double-Char;
+//! * [`bitmap_trie`] — succinct bitmap trie for 3-Grams / 4-Grams;
+//! * [`art_dict`] — ART variant for ALM / ALM-Improved (prefix keys, full
+//!   prefixes, leaves store codes);
+//! * [`sorted_dict`] — binary search over the boundary list (baseline).
+
+pub mod array_dict;
+pub mod art_dict;
+pub mod bitmap_trie;
+pub mod sorted_dict;
+
+use crate::axis::IntervalSet;
+use crate::bitpack::Code;
+use crate::selector::Scheme;
+
+pub use array_dict::{DoubleCharDict, SingleCharDict};
+pub use art_dict::ArtDict;
+pub use bitmap_trie::BitmapTrieDict;
+pub use sorted_dict::SortedDict;
+
+/// Common interface of every dictionary structure.
+pub trait DictLookup {
+    /// Find the interval containing the (non-empty) source suffix; return
+    /// the interval's code and its symbol length (bytes consumed).
+    fn lookup(&self, src: &[u8]) -> (Code, usize);
+
+    /// Bytes of memory used by the structure.
+    fn memory_bytes(&self) -> usize;
+
+    /// Number of dictionary entries (intervals).
+    fn num_entries(&self) -> usize;
+}
+
+/// Static-dispatch wrapper over the concrete dictionary structures (keeps
+/// the per-symbol lookup free of virtual calls on the encode hot path).
+#[derive(Debug)]
+pub enum Dict {
+    /// 256-entry array (Single-Char).
+    Single(SingleCharDict),
+    /// 65 792-entry array (Double-Char).
+    Double(DoubleCharDict),
+    /// Bitmap trie (3-Grams / 4-Grams).
+    Bitmap(BitmapTrieDict),
+    /// ART-based (ALM / ALM-Improved).
+    Art(ArtDict),
+    /// Binary-search baseline.
+    Sorted(SortedDict),
+}
+
+impl Dict {
+    /// Build the Table-1 dictionary structure for `scheme`.
+    pub fn build(scheme: Scheme, set: &IntervalSet, codes: &[Code]) -> Dict {
+        assert_eq!(set.len(), codes.len());
+        match scheme {
+            Scheme::SingleChar => Dict::Single(SingleCharDict::new(codes)),
+            Scheme::DoubleChar => Dict::Double(DoubleCharDict::new(codes)),
+            Scheme::ThreeGrams | Scheme::FourGrams => {
+                Dict::Bitmap(BitmapTrieDict::build(set, codes))
+            }
+            Scheme::Alm | Scheme::AlmImproved => Dict::Art(ArtDict::build(set, codes)),
+        }
+    }
+
+    /// See [`DictLookup::lookup`].
+    #[inline]
+    pub fn lookup(&self, src: &[u8]) -> (Code, usize) {
+        match self {
+            Dict::Single(d) => d.lookup(src),
+            Dict::Double(d) => d.lookup(src),
+            Dict::Bitmap(d) => d.lookup(src),
+            Dict::Art(d) => d.lookup(src),
+            Dict::Sorted(d) => d.lookup(src),
+        }
+    }
+
+    /// See [`DictLookup::memory_bytes`].
+    pub fn memory_bytes(&self) -> usize {
+        match self {
+            Dict::Single(d) => d.memory_bytes(),
+            Dict::Double(d) => d.memory_bytes(),
+            Dict::Bitmap(d) => d.memory_bytes(),
+            Dict::Art(d) => d.memory_bytes(),
+            Dict::Sorted(d) => d.memory_bytes(),
+        }
+    }
+
+    /// See [`DictLookup::num_entries`].
+    pub fn num_entries(&self) -> usize {
+        match self {
+            Dict::Single(d) => d.num_entries(),
+            Dict::Double(d) => d.num_entries(),
+            Dict::Bitmap(d) => d.num_entries(),
+            Dict::Art(d) => d.num_entries(),
+            Dict::Sorted(d) => d.num_entries(),
+        }
+    }
+
+    /// Name of the underlying structure (for reports).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Dict::Single(_) | Dict::Double(_) => "Array",
+            Dict::Bitmap(_) => "Bitmap-Trie",
+            Dict::Art(_) => "ART-based",
+            Dict::Sorted(_) => "Sorted-Array",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::code_assign::CodeAssigner;
+    use crate::selector;
+    use proptest::prelude::*;
+
+    /// Every concrete dictionary must agree with the binary-search baseline
+    /// on every lookup — the key differential test of this module.
+    fn check_against_baseline(scheme: Scheme, sample: &[Vec<u8>], probes: &[Vec<u8>]) {
+        let set = selector::select_intervals(scheme, sample, 128);
+        let weights = selector::access_weights(&set, sample);
+        let codes = CodeAssigner::HuTucker.assign(&weights);
+        let fast = Dict::build(scheme, &set, &codes);
+        let base = SortedDict::build(&set, &codes);
+        assert_eq!(fast.num_entries(), base.num_entries());
+        for p in probes {
+            if p.is_empty() {
+                continue;
+            }
+            let got = fast.lookup(p);
+            let want = base.lookup(p);
+            assert_eq!(got, want, "{scheme}: lookup({p:?})");
+        }
+    }
+
+    fn words() -> Vec<Vec<u8>> {
+        [
+            "singing", "ringing", "kingdom", "sting", "ingest", "winging",
+            "com.gmail@a", "com.gmail@b", "com.yahoo@c", "org.acm@d",
+        ]
+        .iter()
+        .map(|s| s.as_bytes().to_vec())
+        .collect()
+    }
+
+    #[test]
+    fn all_dicts_match_baseline_on_fixed_probes() {
+        let sample = words();
+        let probes: Vec<Vec<u8>> = [
+            "a", "ing", "inging", "com.gmail@zzz", "zzz", "\u{0}", "q",
+            "com", "con", "cz", "i", "in", "kingdoms", "\u{7f}\u{7f}",
+        ]
+        .iter()
+        .map(|s| s.as_bytes().to_vec())
+        .collect();
+        for scheme in Scheme::ALL {
+            check_against_baseline(scheme, &sample, &probes);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+        #[test]
+        fn dicts_match_baseline_on_random_probes(
+            sample in proptest::collection::vec(
+                proptest::collection::vec(any::<u8>(), 1..20), 1..20),
+            probes in proptest::collection::vec(
+                proptest::collection::vec(any::<u8>(), 1..24), 1..40),
+        ) {
+            for scheme in [Scheme::ThreeGrams, Scheme::FourGrams, Scheme::AlmImproved] {
+                check_against_baseline(scheme, &sample, &probes);
+            }
+        }
+    }
+}

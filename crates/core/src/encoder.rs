@@ -1,0 +1,268 @@
+//! The Encoder (§4.2): repeated dictionary lookups + fast bit concatenation.
+//!
+//! Also implements the batch-encoding optimization (§4.2, Appendix B):
+//! when encoding a sorted batch, the common prefix of a block is encoded
+//! once and reused, provided the reuse point is aligned with dictionary
+//! lookups (safe for the fixed-gram schemes; ALM's arbitrary-length symbols
+//! make a-priori alignment impossible, as the paper notes, so those fall
+//! back to individual encoding).
+
+use crate::axis::lcp_len;
+use crate::bitpack::{BitWriter, EncodedKey};
+use crate::dict::Dict;
+
+/// Key encoder: owns the dictionary and a reusable bit writer.
+#[derive(Debug)]
+pub struct Encoder {
+    dict: Dict,
+    /// Max dictionary boundary length: a lookup checkpoint at byte `p` is
+    /// reusable for another key sharing `p + max_boundary_len` prefix bytes.
+    /// `None` disables batch reuse (ALM schemes).
+    reuse_gram: Option<usize>,
+}
+
+impl Encoder {
+    /// Wrap a dictionary. `reuse_gram` is the scheme's maximum boundary
+    /// length (1, 2, 3, 4) or `None` for variable-length-symbol schemes.
+    pub fn new(dict: Dict, reuse_gram: Option<usize>) -> Self {
+        Encoder { dict, reuse_gram }
+    }
+
+    /// Access the underlying dictionary.
+    pub fn dict(&self) -> &Dict {
+        &self.dict
+    }
+
+    /// Encode one key. The empty key encodes to the empty code.
+    pub fn encode(&self, key: &[u8]) -> EncodedKey {
+        let mut w = BitWriter::with_capacity(key.len());
+        self.encode_into(key, &mut w);
+        w.finish()
+    }
+
+    /// Encode `key`, appending to an existing writer (allocation reuse).
+    #[inline]
+    pub fn encode_into(&self, key: &[u8], w: &mut BitWriter) {
+        let mut rest = key;
+        while !rest.is_empty() {
+            let (code, consumed) = self.dict.lookup(rest);
+            debug_assert!(consumed >= 1 && consumed <= rest.len());
+            w.put(code);
+            rest = &rest[consumed..];
+        }
+    }
+
+    /// Encode a batch of keys, exploiting shared prefixes within blocks of
+    /// `block_size` **sorted** keys (Appendix B). `block_size = 1` encodes
+    /// individually; `block_size = 2` is the paper's *pair-encoding* used
+    /// for closed-range queries.
+    pub fn encode_batch(&self, keys: &[&[u8]], block_size: usize) -> Vec<EncodedKey> {
+        assert!(block_size >= 1);
+        let mut out = Vec::with_capacity(keys.len());
+        if block_size == 1 || self.reuse_gram.is_none() {
+            for k in keys {
+                out.push(self.encode(k));
+            }
+            return out;
+        }
+        let gram = self.reuse_gram.unwrap();
+        for block in keys.chunks(block_size) {
+            self.encode_block(block, gram, &mut out);
+        }
+        out
+    }
+
+    /// Pair-encode the two boundary keys of a closed-range query.
+    pub fn encode_pair(&self, low: &[u8], high: &[u8]) -> (EncodedKey, EncodedKey) {
+        let mut v = self.encode_batch(&[low, high], 2);
+        let hi = v.pop().expect("two encodings");
+        let lo = v.pop().expect("two encodings");
+        (lo, hi)
+    }
+
+    /// Encode one sorted block: the first key records lookup checkpoints
+    /// (source byte offset, encoded bit offset); subsequent keys bit-copy
+    /// the longest safely-aligned shared prefix and resume encoding there.
+    fn encode_block(&self, block: &[&[u8]], gram: usize, out: &mut Vec<EncodedKey>) {
+        debug_assert!(!block.is_empty());
+        let first = block[0];
+        // (source bytes consumed, bits emitted) after each lookup.
+        let mut checkpoints: Vec<(usize, usize)> = Vec::with_capacity(first.len());
+        let mut w = BitWriter::with_capacity(first.len());
+        let mut rest = first;
+        let mut consumed_total = 0usize;
+        while !rest.is_empty() {
+            let (code, consumed) = self.dict.lookup(rest);
+            w.put(code);
+            consumed_total += consumed;
+            rest = &rest[consumed..];
+            checkpoints.push((consumed_total, w.bit_len()));
+        }
+        let first_enc = w.finish();
+        out.push(first_enc.clone());
+
+        for key in &block[1..] {
+            let shared = lcp_len(first, key);
+            // A checkpoint at byte p is valid if every lookup before it saw
+            // identical bytes: boundaries are at most `gram` bytes, so
+            // p + gram <= shared suffices (see DESIGN.md).
+            let ck = checkpoints
+                .iter()
+                .take_while(|&&(p, _)| p + gram <= shared)
+                .last()
+                .copied();
+            match ck {
+                Some((bytes, bits)) => {
+                    let mut w = BitWriter::with_capacity(key.len());
+                    copy_bit_prefix(&first_enc, bits, &mut w);
+                    self.encode_into(&key[bytes..], &mut w);
+                    out.push(w.finish());
+                }
+                None => out.push(self.encode(key)),
+            }
+        }
+    }
+}
+
+/// Append the first `bits` bits of `src` to `w`.
+fn copy_bit_prefix(src: &EncodedKey, bits: usize, w: &mut BitWriter) {
+    debug_assert!(bits <= src.bit_len());
+    let bytes = src.as_bytes();
+    let whole = bits / 8;
+    let mut i = 0;
+    while i + 8 <= whole {
+        let v = u64::from_be_bytes(bytes[i..i + 8].try_into().expect("8 bytes"));
+        w.put_bits(v, 64);
+        i += 8;
+    }
+    while i < whole {
+        w.put_bits(bytes[i] as u64, 8);
+        i += 1;
+    }
+    let rem = bits % 8;
+    if rem > 0 {
+        w.put_bits((bytes[whole] >> (8 - rem)) as u64, rem as u32);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::code_assign::CodeAssigner;
+    use crate::selector::{self, Scheme};
+
+    fn build_encoder(scheme: Scheme, sample: &[Vec<u8>]) -> Encoder {
+        let set = selector::select_intervals(scheme, sample, 512);
+        let weights = selector::access_weights(&set, sample);
+        let codes = if scheme.uses_hu_tucker() {
+            CodeAssigner::HuTucker.assign(&weights)
+        } else {
+            CodeAssigner::FixedLength.assign(&weights)
+        };
+        let dict = Dict::build(scheme, &set, &codes);
+        let gram = match scheme {
+            Scheme::SingleChar => Some(1),
+            Scheme::DoubleChar => Some(2),
+            Scheme::ThreeGrams => Some(3),
+            Scheme::FourGrams => Some(4),
+            _ => None,
+        };
+        Encoder::new(dict, gram)
+    }
+
+    fn sample() -> Vec<Vec<u8>> {
+        [
+            "com.gmail@alice", "com.gmail@bob", "com.gmail@carol",
+            "com.yahoo@dave", "org.acm@erin", "net.github@frank",
+        ]
+        .iter()
+        .map(|s| s.as_bytes().to_vec())
+        .collect()
+    }
+
+    #[test]
+    fn empty_key_encodes_empty() {
+        let enc = build_encoder(Scheme::SingleChar, &sample());
+        let e = enc.encode(b"");
+        assert_eq!(e.bit_len(), 0);
+        assert_eq!(e.byte_len(), 0);
+    }
+
+    #[test]
+    fn order_preserved_within_sample() {
+        for scheme in Scheme::ALL {
+            let s = sample();
+            let enc = build_encoder(scheme, &s);
+            let mut keys = s.clone();
+            keys.push(b"com.gmail@".to_vec());
+            keys.push(b"zzz".to_vec());
+            keys.push(b"@".to_vec());
+            keys.sort();
+            let encoded: Vec<EncodedKey> = keys.iter().map(|k| enc.encode(k)).collect();
+            for w in encoded.windows(2) {
+                assert!(w[0] < w[1], "{scheme}: order violated");
+            }
+        }
+    }
+
+    #[test]
+    fn compresses_skewed_text() {
+        let s = sample();
+        let enc = build_encoder(Scheme::DoubleChar, &s);
+        let key = b"com.gmail@newuser";
+        let e = enc.encode(key);
+        assert!(
+            e.byte_len() < key.len(),
+            "expected compression: {} vs {}",
+            e.byte_len(),
+            key.len()
+        );
+    }
+
+    #[test]
+    fn batch_matches_individual_encoding() {
+        let s = sample();
+        for scheme in Scheme::ALL {
+            let enc = build_encoder(scheme, &s);
+            let mut keys: Vec<&[u8]> = vec![
+                b"com.gmail@aaa", b"com.gmail@aab", b"com.gmail@zzz",
+                b"com.yahoo@x", b"org.acm@y", b"zebra",
+            ];
+            keys.sort();
+            for bs in [1usize, 2, 3, 32] {
+                let batch = enc.encode_batch(&keys, bs);
+                for (k, e) in keys.iter().zip(&batch) {
+                    assert_eq!(e, &enc.encode(k), "{scheme} block={bs} key={k:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn pair_encoding_matches_individual() {
+        let s = sample();
+        let enc = build_encoder(Scheme::ThreeGrams, &s);
+        let (lo, hi) = enc.encode_pair(b"com.gmail@foo", b"com.gmail@fop");
+        assert_eq!(lo, enc.encode(b"com.gmail@foo"));
+        assert_eq!(hi, enc.encode(b"com.gmail@fop"));
+        assert!(lo < hi);
+    }
+
+    #[test]
+    fn copy_bit_prefix_roundtrip() {
+        let mut w = BitWriter::new();
+        for i in 0..20u64 {
+            w.put_bits(i % 256, 11);
+        }
+        let full = w.finish();
+        for cut in [0usize, 1, 7, 8, 9, 63, 64, 65, 100, full.bit_len()] {
+            let mut w2 = BitWriter::new();
+            copy_bit_prefix(&full, cut, &mut w2);
+            let partial = w2.finish();
+            assert_eq!(partial.bit_len(), cut);
+            for b in 0..cut {
+                assert_eq!(partial.bit(b), full.bit(b), "bit {b} cut {cut}");
+            }
+        }
+    }
+}

@@ -1,0 +1,414 @@
+//! Optimal order-preserving (alphabetic) prefix codes — the paper's
+//! "Hu-Tucker" Code Assigner (§4.2).
+//!
+//! The paper computes Hu-Tucker codes with an improved O(N²) algorithm. We
+//! use the Garsia–Wachs algorithm (Knuth, TAOCP 6.2.2), which produces an
+//! optimal alphabetic binary tree with the same optimal expected depth as
+//! Hu-Tucker, in O(N²) worst case and near-linear time on the weight
+//! distributions HOPE produces. From the per-leaf depths we derive the
+//! canonical alphabetic code: monotonically increasing, prefix-free codes —
+//! exactly the properties §3.1 requires for order preservation.
+
+use crate::bitpack::Code;
+
+/// Maximum code length we can store in a [`Code`].
+pub const MAX_CODE_LEN: u32 = 64;
+
+/// Compute optimal alphabetic code lengths (leaf depths of an optimal
+/// alphabetic binary tree) for the given interval access weights.
+///
+/// Zero weights are permitted; callers typically apply +1 smoothing first to
+/// bound depths. For `n == 1` the single depth is 1 (a 0-bit code would not
+/// be uniquely decodable).
+pub fn optimal_code_lengths(weights: &[u64]) -> Vec<u32> {
+    let n = weights.len();
+    assert!(n > 0, "cannot build a code over zero intervals");
+    if n == 1 {
+        return vec![1];
+    }
+    garsia_wachs_depths(weights)
+}
+
+/// Assign Hu-Tucker (optimal alphabetic) codes to the given weights.
+///
+/// If the optimal code would exceed [`MAX_CODE_LEN`] bits (possible only for
+/// pathologically skewed weights), falls back to the balanced alphabetic
+/// code of `ceil(log2 n)` bits, which is always representable.
+pub fn hu_tucker_codes(weights: &[u64]) -> Vec<Code> {
+    let depths = optimal_code_lengths(weights);
+    if depths.iter().any(|&d| d > MAX_CODE_LEN) {
+        return fixed_len_codes(weights.len());
+    }
+    canonical_alphabetic_codes(&depths)
+}
+
+/// Monotonically increasing fixed-length codes of `ceil(log2 n)` bits — the
+/// paper's fixed-length Code Assigner (used by the ALM/VIFC scheme).
+pub fn fixed_len_codes(n: usize) -> Vec<Code> {
+    assert!(n > 0);
+    let len = if n == 1 {
+        1
+    } else {
+        (usize::BITS - (n - 1).leading_zeros()).max(1)
+    };
+    assert!(len <= MAX_CODE_LEN);
+    (0..n as u64).map(|i| Code::new(i, len as u8)).collect()
+}
+
+/// Expected code length `sum(w_i * l_i) / sum(w_i)` — the quantity both the
+/// DP reference and Garsia–Wachs minimize.
+pub fn weighted_depth(weights: &[u64], depths: &[u32]) -> f64 {
+    let total: u128 = weights.iter().map(|&w| w as u128).sum();
+    if total == 0 {
+        return 0.0;
+    }
+    let cost: u128 = weights
+        .iter()
+        .zip(depths)
+        .map(|(&w, &d)| w as u128 * d as u128)
+        .sum();
+    cost as f64 / total as f64
+}
+
+/// Build the canonical alphabetic code from a valid alphabetic depth
+/// sequence (left-to-right leaf depths of some binary tree).
+///
+/// # Panics
+/// Panics if the depth sequence does not correspond to a binary tree (which
+/// would indicate a bug in the depth computation).
+pub fn canonical_alphabetic_codes(depths: &[u32]) -> Vec<Code> {
+    let n = depths.len();
+    let mut codes = Vec::with_capacity(n);
+    if n == 0 {
+        return codes;
+    }
+    // First leaf: all-zero path of its depth.
+    codes.push(Code::new(0, depths[0] as u8));
+    let mut prev: u128 = 0;
+    for i in 1..n {
+        let (lp, lc) = (depths[i - 1], depths[i]);
+        let mut c = prev + 1;
+        if lc >= lp {
+            c <<= lc - lp;
+        } else {
+            let shift = lp - lc;
+            debug_assert!(
+                c.trailing_zeros() >= shift || c == 0,
+                "invalid alphabetic depth sequence at leaf {i}"
+            );
+            c >>= shift;
+        }
+        assert!(
+            c < (1u128 << lc),
+            "depth sequence overflows at leaf {i}: not a valid alphabetic tree"
+        );
+        codes.push(Code::new(c as u64, lc as u8));
+        prev = c;
+    }
+    codes
+}
+
+// ---------------------------------------------------------------------------
+// Garsia–Wachs phase 1 + 2
+// ---------------------------------------------------------------------------
+
+/// Arena node for the Garsia–Wachs merge tree.
+struct GwNode {
+    weight: u64,
+    /// Children in the merge tree; `usize::MAX` for leaves.
+    left: usize,
+    right: usize,
+}
+
+const NIL: usize = usize::MAX;
+
+fn garsia_wachs_depths(weights: &[u64]) -> Vec<u32> {
+    let n = weights.len();
+    debug_assert!(n >= 2);
+
+    // Arena of merge-tree nodes; the first n are the leaves in order.
+    let mut arena: Vec<GwNode> = weights
+        .iter()
+        .map(|&w| GwNode { weight: w, left: NIL, right: NIL })
+        .collect();
+    arena.reserve(n - 1);
+
+    // Doubly-linked working sequence over arena ids, with sentinel slots.
+    // prev/next are indexed by "list slot" = arena id, plus two sentinels.
+    let head = n * 2; // virtual slot ids for sentinels
+    let tail = n * 2 + 1;
+    let cap = n * 2 + 2;
+    let mut next = vec![NIL; cap];
+    let mut prev = vec![NIL; cap];
+    next[head] = 0;
+    prev[tail] = n - 1;
+    for i in 0..n {
+        prev[i] = if i == 0 { head } else { i - 1 };
+        next[i] = if i == n - 1 { tail } else { i + 1 };
+    }
+
+    let w = |arena: &Vec<GwNode>, slot: usize| -> u64 {
+        if slot == head || slot == tail {
+            u64::MAX
+        } else {
+            arena[slot].weight
+        }
+    };
+
+    // `scan` points at the left element `a` of the candidate triple
+    // (a, b, c); everything strictly left of `scan` is known to contain no
+    // mergeable triple.
+    let mut scan = next[head];
+    let mut remaining = n;
+    while remaining > 1 {
+        // Phase 1a: find the first triple (a, b, c) with w(a) <= w(c).
+        let mut a = scan;
+        loop {
+            let b = next[a];
+            debug_assert!(b != tail, "right sentinel guarantees a merge");
+            let c = next[b];
+            if w(&arena, a) <= w(&arena, c) {
+                // Merge (a, b) into z.
+                let zw = arena[a].weight.saturating_add(arena[b].weight);
+                let z = arena.len();
+                arena.push(GwNode { weight: zw, left: a, right: b });
+                if next.len() <= z {
+                    next.resize(z + 1, NIL);
+                    prev.resize(z + 1, NIL);
+                }
+                // Unlink a and b.
+                let before = prev[a];
+                let after = next[b];
+                next[before] = after;
+                prev[after] = before;
+                // Phase 1b: move z leftwards — insert after the nearest
+                // element to the left with weight >= w(z).
+                let mut e = before;
+                while w(&arena, e) < zw {
+                    e = prev[e];
+                }
+                let f = next[e];
+                next[e] = z;
+                prev[z] = e;
+                next[z] = f;
+                prev[f] = z;
+                remaining -= 1;
+                // Resume two positions left of z: only neighborhoods at or
+                // right of there changed (see DESIGN.md).
+                let mut s = prev[z];
+                if s != head {
+                    s = prev[s];
+                }
+                scan = if s == head { next[head] } else { s };
+                break;
+            }
+            a = b;
+        }
+    }
+
+    // Phase 2: leaf depths of the merge tree.
+    let root = next[head];
+    let mut depths = vec![0u32; n];
+    let mut stack: Vec<(usize, u32)> = vec![(root, 0)];
+    while let Some((id, d)) = stack.pop() {
+        let node = &arena[id];
+        if node.left == NIL {
+            depths[id] = d;
+        } else {
+            stack.push((node.left, d + 1));
+            stack.push((node.right, d + 1));
+        }
+    }
+    depths
+}
+
+// ---------------------------------------------------------------------------
+// Reference DP (used by tests): optimal alphabetic tree cost in O(n^3).
+// ---------------------------------------------------------------------------
+
+/// Minimum total weighted depth `sum(w_i * depth_i)` of any alphabetic
+/// binary tree over `weights`. Exponential-free reference for testing;
+/// O(n^3), intended for small n only.
+pub fn optimal_alphabetic_cost_reference(weights: &[u64]) -> u128 {
+    let n = weights.len();
+    assert!(n > 0);
+    if n == 1 {
+        return weights[0] as u128; // depth 1 by our single-leaf convention
+    }
+    // prefix sums for range weight
+    let mut pre = vec![0u128; n + 1];
+    for i in 0..n {
+        pre[i + 1] = pre[i] + weights[i] as u128;
+    }
+    let range_w = |i: usize, j: usize| pre[j + 1] - pre[i];
+    // cost[i][j] = min internal cost of alphabetic tree over leaves i..=j,
+    // where each merge adds the merged range weight once. Total weighted
+    // depth = cost[0][n-1].
+    let mut cost = vec![vec![0u128; n]; n];
+    for len in 2..=n {
+        for i in 0..=(n - len) {
+            let j = i + len - 1;
+            let mut best = u128::MAX;
+            for k in i..j {
+                let c = cost[i][k] + cost[k + 1][j];
+                if c < best {
+                    best = c;
+                }
+            }
+            cost[i][j] = best + range_w(i, j);
+        }
+    }
+    cost[0][n - 1]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn cost_of_depths(weights: &[u64], depths: &[u32]) -> u128 {
+        weights
+            .iter()
+            .zip(depths)
+            .map(|(&w, &d)| w as u128 * d as u128)
+            .sum()
+    }
+
+    fn assert_valid_alphabetic_code(codes: &[Code]) {
+        // monotone increasing as bitstrings, and prefix-free
+        for pair in codes.windows(2) {
+            assert_eq!(
+                pair[0].cmp_bitstring(&pair[1]),
+                std::cmp::Ordering::Less,
+                "codes not monotone: {} vs {}",
+                pair[0].to_bit_string(),
+                pair[1].to_bit_string()
+            );
+        }
+        for (i, a) in codes.iter().enumerate() {
+            for (j, b) in codes.iter().enumerate() {
+                if i != j {
+                    assert!(
+                        !a.is_prefix_of(b),
+                        "code {} is a prefix of {}",
+                        a.to_bit_string(),
+                        b.to_bit_string()
+                    );
+                }
+            }
+        }
+        // Kraft equality: a full binary tree satisfies sum 2^-l == 1.
+        let kraft: f64 = codes.iter().map(|c| 2f64.powi(-(c.len as i32))).sum();
+        assert!((kraft - 1.0).abs() < 1e-9, "Kraft sum {kraft} != 1");
+    }
+
+    #[test]
+    fn single_symbol_gets_one_bit() {
+        let codes = hu_tucker_codes(&[42]);
+        assert_eq!(codes, vec![Code::new(0, 1)]);
+    }
+
+    #[test]
+    fn two_symbols() {
+        let codes = hu_tucker_codes(&[3, 5]);
+        assert_eq!(codes, vec![Code::new(0, 1), Code::new(1, 1)]);
+    }
+
+    #[test]
+    fn classic_example_is_optimal() {
+        // Example from Knuth: weights whose optimal alphabetic tree differs
+        // from the Huffman tree.
+        let w = [25u64, 20, 13, 7, 9];
+        let depths = optimal_code_lengths(&w);
+        let got = cost_of_depths(&w, &depths);
+        let want = optimal_alphabetic_cost_reference(&w);
+        assert_eq!(got, want, "GW depths {depths:?} not optimal");
+        assert_valid_alphabetic_code(&canonical_alphabetic_codes(&depths));
+    }
+
+    #[test]
+    fn equal_weights_yield_balanced_code() {
+        let w = vec![10u64; 8];
+        let depths = optimal_code_lengths(&w);
+        assert!(depths.iter().all(|&d| d == 3), "{depths:?}");
+    }
+
+    #[test]
+    fn skewed_weights_give_short_code_to_heavy_symbol() {
+        let w = [1000u64, 1, 1, 1];
+        let depths = optimal_code_lengths(&w);
+        assert_eq!(depths[0], 1, "{depths:?}");
+    }
+
+    #[test]
+    fn zero_weights_tolerated() {
+        let w = [0u64, 0, 5, 0];
+        let depths = optimal_code_lengths(&w);
+        assert_eq!(depths.len(), 4);
+        assert_valid_alphabetic_code(&canonical_alphabetic_codes(&depths));
+    }
+
+    #[test]
+    fn fixed_len_codes_are_monotone_and_sized() {
+        let codes = fixed_len_codes(5);
+        assert!(codes.iter().all(|c| c.len == 3));
+        for pair in codes.windows(2) {
+            assert!(pair[0].cmp_bitstring(&pair[1]) == std::cmp::Ordering::Less);
+        }
+        assert_eq!(fixed_len_codes(1)[0].len, 1);
+        assert_eq!(fixed_len_codes(2)[0].len, 1);
+        assert_eq!(fixed_len_codes(256)[0].len, 8);
+        assert_eq!(fixed_len_codes(257)[0].len, 9);
+    }
+
+    #[test]
+    fn moderately_large_input_runs_fast_and_valid() {
+        // 4096 pseudo-random weights; verifies structural validity.
+        let mut x = 0x9E3779B97F4A7C15u64;
+        let w: Vec<u64> = (0..4096)
+            .map(|_| {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                (x % 1000) + 1
+            })
+            .collect();
+        let codes = hu_tucker_codes(&w);
+        assert_valid_alphabetic_code(&codes);
+    }
+
+    #[test]
+    fn weighted_depth_helper() {
+        let w = [1u64, 1];
+        let d = [1u32, 1];
+        assert!((weighted_depth(&w, &d) - 1.0).abs() < 1e-12);
+        assert_eq!(weighted_depth(&[], &[]), 0.0);
+    }
+
+    proptest! {
+        #[test]
+        fn gw_matches_dp_reference(w in proptest::collection::vec(0u64..10_000, 2..12)) {
+            let depths = optimal_code_lengths(&w);
+            let got = cost_of_depths(&w, &depths);
+            let want = optimal_alphabetic_cost_reference(&w);
+            prop_assert_eq!(got, want, "weights {:?} depths {:?}", w, depths);
+        }
+
+        #[test]
+        fn codes_always_structurally_valid(w in proptest::collection::vec(0u64..1_000_000, 1..200)) {
+            let codes = hu_tucker_codes(&w);
+            prop_assert_eq!(codes.len(), w.len());
+            if w.len() > 1 {
+                assert_valid_alphabetic_code(&codes);
+            }
+        }
+
+        #[test]
+        fn extreme_skew_stays_within_64_bits(exp in 1u32..60) {
+            // Geometric weights stress maximal depth.
+            let w: Vec<u64> = (0..exp).map(|i| 1u64 << i).collect();
+            let codes = hu_tucker_codes(&w);
+            prop_assert!(codes.iter().all(|c| c.len as u32 <= MAX_CODE_LEN));
+        }
+    }
+}

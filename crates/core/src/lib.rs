@@ -1,0 +1,57 @@
+//! # HOPE — High-speed Order-Preserving Encoder
+//!
+//! A from-scratch Rust reproduction of *"Order-Preserving Key Compression
+//! for In-Memory Search Trees"* (Zhang et al., SIGMOD 2020).
+//!
+//! HOPE compresses arbitrary byte-string keys while preserving their
+//! lexicographic order, so compressed keys can be stored directly in
+//! order-sensitive structures (B+trees, tries, range filters) and still
+//! support range queries. It samples an initial key set, selects dictionary
+//! symbols according to one of six schemes, assigns order-preserving prefix
+//! codes, and then encodes keys with a handful of dictionary lookups and bit
+//! concatenations per key.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use hope::{Scheme, HopeBuilder};
+//!
+//! let sample: Vec<&[u8]> = vec![b"com.gmail@alice", b"com.gmail@bob", b"org.acm@carol"];
+//! let hope = HopeBuilder::new(Scheme::DoubleChar)
+//!     .build_from_sample(sample.iter().map(|k| k.to_vec()))
+//!     .unwrap();
+//!
+//! let a = hope.encode(b"com.gmail@alice");
+//! let b = hope.encode(b"com.gmail@bob");
+//! assert!(a < b); // order preserved
+//! ```
+//!
+//! ## Schemes (paper §3.3, Table 1)
+//!
+//! | Scheme | Category | Dictionary | Codes |
+//! |---|---|---|---|
+//! | [`Scheme::SingleChar`] | FIVC | 256-entry array | Hu-Tucker |
+//! | [`Scheme::DoubleChar`] | FIVC | 65 792-entry array | Hu-Tucker |
+//! | [`Scheme::Alm`] | VIFC | ART | fixed-length |
+//! | [`Scheme::ThreeGrams`] | VIVC | bitmap-trie | Hu-Tucker |
+//! | [`Scheme::FourGrams`] | VIVC | bitmap-trie | Hu-Tucker |
+//! | [`Scheme::AlmImproved`] | VIVC | ART | Hu-Tucker |
+
+#![warn(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod axis;
+pub mod bitpack;
+pub mod builder;
+pub mod code_assign;
+pub mod decoder;
+pub mod dict;
+pub mod encoder;
+pub mod hu_tucker;
+pub mod selector;
+pub mod stats;
+
+pub use bitpack::{Code, EncodedKey};
+pub use builder::{BuildTimings, Hope, HopeBuilder, HopeError};
+pub use encoder::Encoder;
+pub use selector::Scheme;

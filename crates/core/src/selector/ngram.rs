@@ -1,0 +1,123 @@
+//! 3-Grams / 4-Grams selectors (§3.3, Figures 4d/4e): variable-length
+//! intervals whose boundaries are the top `n/2` most frequent N-byte
+//! patterns; the gaps between pattern intervals become dictionary entries of
+//! their own (with the gap's max common prefix as symbol).
+
+use std::collections::HashMap;
+
+use crate::axis::IntervalSet;
+
+/// Selector for fixed-N-byte frequent patterns (N = 3 or 4 in the paper;
+/// any N >= 1 is supported).
+#[derive(Clone, Copy, Debug)]
+pub struct NGramSelector {
+    n: usize,
+}
+
+impl NGramSelector {
+    /// Create a selector over N-byte patterns.
+    pub fn new(n: usize) -> Self {
+        assert!(n >= 1, "n-gram length must be positive");
+        NGramSelector { n }
+    }
+
+    /// Count all overlapping N-byte substrings of the sample keys.
+    pub fn count_patterns(&self, sample: &[Vec<u8>]) -> HashMap<Vec<u8>, u64> {
+        let mut counts: HashMap<Vec<u8>, u64> = HashMap::new();
+        for key in sample {
+            if key.len() < self.n {
+                continue;
+            }
+            for w in key.windows(self.n) {
+                *counts.entry(w.to_vec()).or_insert(0) += 1;
+            }
+        }
+        counts
+    }
+
+    /// Divide the string axis: pick the top `target_entries / 2` patterns by
+    /// frequency, fill the gaps (§3.3: "for each interval gap between the
+    /// selected patterns, create a dictionary entry to cover the gap").
+    pub fn select(&self, sample: &[Vec<u8>], target_entries: usize) -> IntervalSet {
+        let counts = self.count_patterns(sample);
+        let take = (target_entries / 2).max(1);
+        let mut by_freq: Vec<(Vec<u8>, u64)> = counts.into_iter().collect();
+        // Deterministic order: frequency descending, then lexicographic.
+        by_freq.sort_unstable_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+        by_freq.truncate(take);
+        let mut patterns: Vec<Vec<u8>> = by_freq.into_iter().map(|(p, _)| p).collect();
+        patterns.sort_unstable();
+        IntervalSet::from_patterns(&patterns)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Vec<Vec<u8>> {
+        [
+            "singing", "sing", "ringing", "sting", "ingest", "kingdom",
+            "winging", "pinging", "longing",
+        ]
+        .iter()
+        .map(|s| s.as_bytes().to_vec())
+        .collect()
+    }
+
+    #[test]
+    fn counts_overlapping_windows() {
+        let sel = NGramSelector::new(3);
+        let counts = sel.count_patterns(&[b"aaaa".to_vec()]);
+        assert_eq!(counts[b"aaa".as_slice()], 2);
+    }
+
+    #[test]
+    fn short_keys_are_skipped_in_counting() {
+        let sel = NGramSelector::new(4);
+        let counts = sel.count_patterns(&[b"ab".to_vec(), b"abcd".to_vec()]);
+        assert_eq!(counts.len(), 1);
+        assert_eq!(counts[b"abcd".as_slice()], 1);
+    }
+
+    #[test]
+    fn frequent_pattern_becomes_interval() {
+        let sel = NGramSelector::new(3);
+        let set = sel.select(&sample(), 16);
+        set.validate().unwrap();
+        // "ing" is by far the most frequent 3-gram.
+        let i = set.floor_index(b"inging");
+        assert_eq!(set.symbol(i), b"ing");
+        assert_eq!(set.symbol_len(i), 3);
+    }
+
+    #[test]
+    fn dictionary_size_tracks_target() {
+        let sel = NGramSelector::new(3);
+        let small = sel.select(&sample(), 8);
+        let large = sel.select(&sample(), 64);
+        assert!(small.len() < large.len());
+        // At most take + gaps; gaps bounded by ~2x selected + 256.
+        assert!(small.len() <= 8 / 2 * 2 + 257);
+    }
+
+    #[test]
+    fn four_grams_capture_higher_order_patterns() {
+        let sel = NGramSelector::new(4);
+        let set = sel.select(&sample(), 32);
+        set.validate().unwrap();
+        let i = set.floor_index(b"ginger");
+        assert!(set.symbol_len(i) >= 1);
+        // "ging" should be selected (appears in singing/ringing/…).
+        let i = set.floor_index(b"gingx");
+        assert_eq!(set.symbol(i), b"ging");
+    }
+
+    #[test]
+    fn empty_sample_degenerates_to_byte_identity() {
+        let sel = NGramSelector::new(3);
+        let set = sel.select(&[], 64);
+        set.validate().unwrap();
+        assert_eq!(set.len(), 256);
+    }
+}

@@ -1,0 +1,37 @@
+//! Single-Char selector (§3.3, Figure 4a): fixed-length intervals with
+//! consecutive single characters as boundaries — `[a, b)`, `[b, c)`, …
+//!
+//! The dictionary always has exactly 256 entries; the interval layout is
+//! independent of the sample (only the access weights depend on it).
+
+use crate::axis::IntervalSet;
+
+/// The 256 single-byte intervals `[b, b+1)` covering the whole axis.
+pub fn single_char_intervals() -> IntervalSet {
+    // An empty pattern set degenerates to exactly the byte-identity
+    // division: one interval per leading byte.
+    IntervalSet::from_patterns(&[])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn has_256_byte_intervals() {
+        let set = single_char_intervals();
+        assert_eq!(set.len(), 256);
+        set.validate().unwrap();
+        assert_eq!(set.boundary(0x61), b"a");
+        assert_eq!(set.symbol(0x61), b"a");
+        assert_eq!(set.symbol_len(0x61), 1);
+    }
+
+    #[test]
+    fn floor_is_leading_byte() {
+        let set = single_char_intervals();
+        assert_eq!(set.floor_index(b"hello"), b'h' as usize);
+        assert_eq!(set.floor_index(b"\x00"), 0);
+        assert_eq!(set.floor_index(b"\xff\xff"), 255);
+    }
+}

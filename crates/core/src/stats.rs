@@ -1,0 +1,89 @@
+//! Compression-rate and latency measurement helpers used by the figure
+//! harnesses (§6.1): CPR = uncompressed size / compressed size.
+
+use crate::builder::Hope;
+
+/// Result of measuring a compressor over a dataset.
+#[derive(Debug, Clone, Copy)]
+pub struct CompressionStats {
+    /// Total uncompressed bytes.
+    pub src_bytes: u64,
+    /// Total compressed bits.
+    pub enc_bits: u64,
+    /// Total compressed bytes after zero padding (what trees store).
+    pub enc_bytes: u64,
+    /// Total encode wall-clock nanoseconds.
+    pub encode_ns: u64,
+}
+
+impl CompressionStats {
+    /// Compression rate over padded bytes (the paper's CPR).
+    pub fn cpr(&self) -> f64 {
+        if self.enc_bytes == 0 {
+            return 0.0;
+        }
+        self.src_bytes as f64 / self.enc_bytes as f64
+    }
+
+    /// Compression rate at bit granularity (upper bound on the byte CPR).
+    pub fn cpr_bits(&self) -> f64 {
+        if self.enc_bits == 0 {
+            return 0.0;
+        }
+        (self.src_bytes * 8) as f64 / self.enc_bits as f64
+    }
+
+    /// Average encode latency in nanoseconds per source character — the
+    /// y-axis of Figure 8 (row 2).
+    pub fn latency_ns_per_char(&self) -> f64 {
+        if self.src_bytes == 0 {
+            return 0.0;
+        }
+        self.encode_ns as f64 / self.src_bytes as f64
+    }
+}
+
+/// Encode every key once, collecting size and latency statistics.
+pub fn measure<K: AsRef<[u8]>>(hope: &Hope, keys: &[K]) -> CompressionStats {
+    let mut stats = CompressionStats { src_bytes: 0, enc_bits: 0, enc_bytes: 0, encode_ns: 0 };
+    let start = std::time::Instant::now();
+    for key in keys {
+        let key = key.as_ref();
+        let e = hope.encode(key);
+        stats.src_bytes += key.len() as u64;
+        stats.enc_bits += e.bit_len() as u64;
+        stats.enc_bytes += e.byte_len() as u64;
+    }
+    stats.encode_ns = start.elapsed().as_nanos() as u64;
+    stats
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::HopeBuilder;
+    use crate::selector::Scheme;
+
+    #[test]
+    fn cpr_above_one_on_skewed_keys() {
+        let sample: Vec<Vec<u8>> =
+            (0..300).map(|i| format!("com.gmail@user{i}").into_bytes()).collect();
+        let hope = HopeBuilder::new(Scheme::DoubleChar)
+            .build_from_sample(sample.clone())
+            .unwrap();
+        let stats = measure(&hope, &sample);
+        assert!(stats.cpr() > 1.2, "cpr = {}", stats.cpr());
+        assert!(stats.cpr_bits() >= stats.cpr());
+        assert!(stats.latency_ns_per_char() > 0.0);
+    }
+
+    #[test]
+    fn empty_dataset_yields_zero_stats() {
+        let hope = HopeBuilder::new(Scheme::SingleChar)
+            .build_from_sample(vec![b"a".to_vec()])
+            .unwrap();
+        let stats = measure::<Vec<u8>>(&hope, &[]);
+        assert_eq!(stats.cpr(), 0.0);
+        assert_eq!(stats.latency_ns_per_char(), 0.0);
+    }
+}

@@ -1,0 +1,251 @@
+//! Succinct bit vector with rank/select support — the substrate under
+//! SuRF's LOUDS encodings.
+//!
+//! Layout: raw bits in 64-bit words plus a cumulative rank count per
+//! 512-bit block (one u32 per 8 words). `rank1` is O(1) block lookup +
+//! popcounts; `select1` binary-searches the block counts then scans one
+//! block, O(log n) with a tiny constant — plenty for the tree heights
+//! involved here.
+
+/// Append-only bit vector builder.
+#[derive(Debug, Default, Clone)]
+pub struct BitVecBuilder {
+    words: Vec<u64>,
+    len: usize,
+}
+
+impl BitVecBuilder {
+    /// New empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Append one bit.
+    #[inline]
+    pub fn push(&mut self, bit: bool) {
+        let word = self.len / 64;
+        if word == self.words.len() {
+            self.words.push(0);
+        }
+        if bit {
+            self.words[word] |= 1u64 << (self.len % 64);
+        }
+        self.len += 1;
+    }
+
+    /// Number of bits pushed.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True if no bits were pushed.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Freeze into a rank/select-capable vector.
+    pub fn build(self) -> BitVec {
+        let blocks = self.words.len().div_ceil(WORDS_PER_BLOCK) + 1;
+        let mut block_rank = Vec::with_capacity(blocks);
+        let mut acc = 0u32;
+        for chunk in self.words.chunks(WORDS_PER_BLOCK) {
+            block_rank.push(acc);
+            acc += chunk.iter().map(|w| w.count_ones()).sum::<u32>();
+        }
+        block_rank.push(acc);
+        BitVec { words: self.words, len: self.len, block_rank, ones: acc as usize }
+    }
+}
+
+const WORDS_PER_BLOCK: usize = 8; // 512 bits
+
+/// Immutable bit vector with O(1) rank and O(log n) select.
+#[derive(Debug, Clone)]
+pub struct BitVec {
+    words: Vec<u64>,
+    len: usize,
+    /// Cumulative number of ones before each 512-bit block (one sentinel at
+    /// the end holding the total).
+    block_rank: Vec<u32>,
+    ones: usize,
+}
+
+impl BitVec {
+    /// Number of bits.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True if the vector has no bits.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Total number of set bits.
+    #[inline]
+    pub fn count_ones(&self) -> usize {
+        self.ones
+    }
+
+    /// Bit at position `i`.
+    #[inline]
+    pub fn get(&self, i: usize) -> bool {
+        debug_assert!(i < self.len);
+        (self.words[i / 64] >> (i % 64)) & 1 == 1
+    }
+
+    /// Number of set bits strictly before position `i` (i may equal len).
+    #[inline]
+    pub fn rank1(&self, i: usize) -> usize {
+        debug_assert!(i <= self.len);
+        let block = i / 512;
+        let mut r = self.block_rank[block] as usize;
+        let word_end = i / 64;
+        for w in (block * WORDS_PER_BLOCK)..word_end {
+            r += self.words[w].count_ones() as usize;
+        }
+        let rem = i % 64;
+        if rem > 0 {
+            r += (self.words[word_end] & ((1u64 << rem) - 1)).count_ones() as usize;
+        }
+        r
+    }
+
+    /// Number of zero bits strictly before position `i`.
+    #[inline]
+    pub fn rank0(&self, i: usize) -> usize {
+        i - self.rank1(i)
+    }
+
+    /// Position of the `k`-th set bit (0-based): `select1(0)` is the first
+    /// set bit. Returns `None` if fewer than `k+1` bits are set.
+    pub fn select1(&self, k: usize) -> Option<usize> {
+        if k >= self.ones {
+            return None;
+        }
+        // Binary search the block whose cumulative rank covers k.
+        let mut lo = 0usize;
+        let mut hi = self.block_rank.len() - 1;
+        while lo + 1 < hi {
+            let mid = (lo + hi) / 2;
+            if (self.block_rank[mid] as usize) <= k {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+        }
+        let mut remaining = k - self.block_rank[lo] as usize;
+        let word_start = lo * WORDS_PER_BLOCK;
+        for w in word_start..self.words.len() {
+            let ones = self.words[w].count_ones() as usize;
+            if remaining < ones {
+                return Some(w * 64 + select_in_word(self.words[w], remaining));
+            }
+            remaining -= ones;
+        }
+        None
+    }
+
+    /// Heap bytes used (words + rank directory).
+    pub fn memory_bytes(&self) -> usize {
+        self.words.len() * 8 + self.block_rank.len() * 4
+    }
+}
+
+/// Position of the `k`-th (0-based) set bit within a word.
+#[inline]
+fn select_in_word(mut w: u64, mut k: usize) -> usize {
+    let mut pos = 0;
+    loop {
+        let tz = w.trailing_zeros() as usize;
+        pos += tz;
+        w >>= tz;
+        if k == 0 {
+            return pos;
+        }
+        k -= 1;
+        w &= !1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn from_bits(bits: &[bool]) -> BitVec {
+        let mut b = BitVecBuilder::new();
+        for &bit in bits {
+            b.push(bit);
+        }
+        b.build()
+    }
+
+    #[test]
+    fn empty_vector() {
+        let v = BitVecBuilder::new().build();
+        assert_eq!(v.len(), 0);
+        assert_eq!(v.count_ones(), 0);
+        assert_eq!(v.rank1(0), 0);
+        assert_eq!(v.select1(0), None);
+    }
+
+    #[test]
+    fn small_known_values() {
+        let v = from_bits(&[true, false, true, true, false]);
+        assert_eq!(v.count_ones(), 3);
+        assert!(v.get(0) && !v.get(1) && v.get(2));
+        assert_eq!(v.rank1(0), 0);
+        assert_eq!(v.rank1(3), 2);
+        assert_eq!(v.rank1(5), 3);
+        assert_eq!(v.rank0(5), 2);
+        assert_eq!(v.select1(0), Some(0));
+        assert_eq!(v.select1(1), Some(2));
+        assert_eq!(v.select1(2), Some(3));
+        assert_eq!(v.select1(3), None);
+    }
+
+    #[test]
+    fn crosses_block_boundaries() {
+        // 1300 bits: every 7th set.
+        let bits: Vec<bool> = (0..1300).map(|i| i % 7 == 0).collect();
+        let v = from_bits(&bits);
+        let expect_ones = (0..1300).filter(|i| i % 7 == 0).count();
+        assert_eq!(v.count_ones(), expect_ones);
+        for i in (0..=1300).step_by(13) {
+            let want = bits[..i].iter().filter(|&&b| b).count();
+            assert_eq!(v.rank1(i), want, "rank at {i}");
+        }
+        for k in 0..expect_ones {
+            assert_eq!(v.select1(k), Some(k * 7), "select {k}");
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn rank_select_agree_with_naive(bits in proptest::collection::vec(any::<bool>(), 0..2000)) {
+            let v = from_bits(&bits);
+            let mut ones = 0usize;
+            for (i, &b) in bits.iter().enumerate() {
+                prop_assert_eq!(v.rank1(i), ones);
+                if b {
+                    prop_assert_eq!(v.select1(ones), Some(i));
+                    ones += 1;
+                }
+            }
+            prop_assert_eq!(v.rank1(bits.len()), ones);
+            prop_assert_eq!(v.select1(ones), None);
+        }
+
+        #[test]
+        fn select_is_inverse_of_rank(bits in proptest::collection::vec(any::<bool>(), 1..1500)) {
+            let v = from_bits(&bits);
+            for k in 0..v.count_ones() {
+                let p = v.select1(k).unwrap();
+                prop_assert!(v.get(p));
+                prop_assert_eq!(v.rank1(p), k);
+            }
+        }
+    }
+}

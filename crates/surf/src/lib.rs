@@ -1,0 +1,26 @@
+//! # hope-surf — Succinct Range Filter substrate
+//!
+//! A from-scratch implementation of SuRF (Zhang et al., SIGMOD 2018), one
+//! of the five search trees the HOPE paper evaluates on. SuRF answers
+//! approximate membership queries — point and range — from a succinct
+//! (≈10 bits/node) LOUDS-encoded trie over keys truncated at their
+//! distinguishing byte.
+//!
+//! ```
+//! use hope_surf::{Surf, SuffixKind};
+//!
+//! let mut keys: Vec<&[u8]> = vec![b"com.gmail@alice", b"com.gmail@bob", b"org.acm@carol"];
+//! keys.sort();
+//! let filter = Surf::build(&keys, SuffixKind::Real);
+//! assert!(filter.contains(b"com.gmail@alice"));
+//! assert!(!filter.contains(b"com.hotmail@mallory"));
+//! assert!(filter.range_may_contain(b"com.gmail@a", b"com.gmail@z"));
+//! ```
+
+#![warn(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod bitvec;
+mod surf;
+
+pub use surf::{SuffixKind, Surf, SurfIter};

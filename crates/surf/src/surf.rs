@@ -1,0 +1,549 @@
+//! SuRF: the Succinct Range Filter (Zhang et al., SIGMOD 2018) — the
+//! trie-based approximate-membership substrate HOPE is evaluated on.
+//!
+//! Keys are truncated at their distinguishing byte and stored in a
+//! LOUDS-Sparse succinct trie: per label position a byte, a terminator
+//! flag (for keys that are prefixes of other keys), a has-child flag, and a
+//! LOUDS node-boundary flag — about 10 bits per trie node plus optional
+//! per-leaf suffix bits that trade memory for false-positive rate:
+//!
+//! * [`SuffixKind::None`] — SuRF-Base;
+//! * [`SuffixKind::Hash`] — SuRF-Hash: 8 key-hash bits, point-query FPR ↓;
+//! * [`SuffixKind::Real`] — SuRF-Real: the next 8 real key bits, helping
+//!   both point and range queries (the paper's Figure 11 configuration).
+//!
+//! The original splits top levels into LOUDS-Dense for speed; this
+//! reproduction uses LOUDS-Sparse throughout (same trie shape, same height,
+//! slightly different constant factors — see DESIGN.md).
+
+use crate::bitvec::{BitVec, BitVecBuilder};
+
+/// Per-leaf suffix variant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SuffixKind {
+    /// No suffix bits (SuRF-Base).
+    None,
+    /// 8 hash bits of the full key (SuRF-Hash8).
+    Hash,
+    /// The 8 real key bits following the truncation point (SuRF-Real8).
+    Real,
+}
+
+/// The succinct range filter.
+#[derive(Debug)]
+pub struct Surf {
+    labels: Vec<u8>,
+    terms: BitVec,
+    has_child: BitVec,
+    louds: BitVec,
+    suffix_kind: SuffixKind,
+    suffixes: Vec<u8>,
+    num_keys: usize,
+    /// Sum of leaf depths (for the average-height metric of Figure 10).
+    depth_sum: u64,
+}
+
+#[inline]
+fn hash8(key: &[u8]) -> u8 {
+    // FNV-1a, folded to 8 bits.
+    let mut h: u64 = 0xcbf29ce484222325;
+    for &b in key {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    (h ^ (h >> 32)) as u8
+}
+
+impl Surf {
+    /// Build from **sorted, distinct** keys.
+    ///
+    /// # Panics
+    /// Panics (debug) if keys are unsorted or duplicated.
+    pub fn build<K: AsRef<[u8]>>(keys: &[K], suffix_kind: SuffixKind) -> Self {
+        let n = keys.len();
+        debug_assert!(
+            keys.windows(2).all(|w| w[0].as_ref() < w[1].as_ref()),
+            "keys must be sorted and distinct"
+        );
+        // Distinguishing depth of each key: one byte past the longer lcp
+        // with its neighbours, capped at the key length (term = the key is a
+        // prefix of a neighbour and ends at an inner node).
+        let lcp = |a: &[u8], b: &[u8]| a.iter().zip(b).take_while(|(x, y)| x == y).count();
+        let mut depth = vec![0usize; n];
+        let mut term = vec![false; n];
+        for i in 0..n {
+            let key = keys[i].as_ref();
+            let mut m = 0;
+            if i > 0 {
+                m = m.max(lcp(key, keys[i - 1].as_ref()));
+            }
+            if i + 1 < n {
+                m = m.max(lcp(key, keys[i + 1].as_ref()));
+            }
+            if m >= key.len() {
+                depth[i] = key.len();
+                term[i] = true;
+            } else {
+                depth[i] = m + 1;
+            }
+        }
+        // Label-sequence length of key i (terminator counts as one label).
+        let llen = |i: usize| depth[i] + term[i] as usize;
+
+        let mut labels = Vec::new();
+        let mut terms = BitVecBuilder::new();
+        let mut has_child = BitVecBuilder::new();
+        let mut louds = BitVecBuilder::new();
+        let mut suffixes = Vec::new();
+        let mut depth_sum = 0u64;
+
+        // BFS over (key range, label depth): every key in the range shares
+        // its first `d` labels and has more than `d` labels.
+        use std::collections::VecDeque;
+        let mut queue: VecDeque<(usize, usize, usize)> = VecDeque::new();
+        if n > 0 {
+            queue.push_back((0, n, 0));
+        }
+        while let Some((lo, hi, d)) = queue.pop_front() {
+            let mut first_in_node = true;
+            let mut i = lo;
+            while i < hi {
+                let ki = keys[i].as_ref();
+                let is_term = term[i] && depth[i] == d;
+                let (label, is_leaf, j) = if is_term {
+                    // Terminator label: always a singleton, always a leaf.
+                    (0u8, true, i + 1)
+                } else {
+                    let c = ki[d];
+                    let mut j = i + 1;
+                    while j < hi {
+                        let kj = keys[j].as_ref();
+                        let ends_here = term[j] && depth[j] == d;
+                        if ends_here || kj[d] != c {
+                            break;
+                        }
+                        j += 1;
+                    }
+                    (c, j - i == 1 && llen(i) == d + 1, j)
+                };
+                labels.push(label);
+                terms.push(is_term);
+                louds.push(first_in_node);
+                first_in_node = false;
+                if is_leaf {
+                    has_child.push(false);
+                    depth_sum += (d + 1) as u64;
+                    match suffix_kind {
+                        SuffixKind::None => {}
+                        SuffixKind::Hash => suffixes.push(hash8(ki)),
+                        SuffixKind::Real => {
+                            // Bytes consumed: d for a terminator (the label
+                            // is virtual), d+1 otherwise.
+                            let consumed = if is_term { d } else { d + 1 };
+                            suffixes.push(ki.get(consumed).copied().unwrap_or(0));
+                        }
+                    }
+                } else {
+                    has_child.push(true);
+                    queue.push_back((i, j, d + 1));
+                }
+                i = j;
+            }
+        }
+
+        Surf {
+            labels,
+            terms: terms.build(),
+            has_child: has_child.build(),
+            louds: louds.build(),
+            suffix_kind,
+            suffixes,
+            num_keys: n,
+            depth_sum,
+        }
+    }
+
+    /// Number of keys the filter was built over.
+    pub fn num_keys(&self) -> usize {
+        self.num_keys
+    }
+
+    /// Average trie height (mean leaf depth) — Figure 10's height metric.
+    pub fn avg_height(&self) -> f64 {
+        if self.num_keys == 0 {
+            return 0.0;
+        }
+        self.depth_sum as f64 / self.num_keys as f64
+    }
+
+    /// Memory footprint in bytes (all succinct structures + suffixes).
+    pub fn memory_bytes(&self) -> usize {
+        self.labels.len()
+            + self.terms.memory_bytes()
+            + self.has_child.memory_bytes()
+            + self.louds.memory_bytes()
+            + self.suffixes.len()
+    }
+
+    /// Label-position range `[start, end)` of node `n`.
+    #[inline]
+    fn node_range(&self, node: usize) -> (usize, usize) {
+        let start = self.louds.select1(node).expect("node exists");
+        let end = self.louds.select1(node + 1).unwrap_or(self.labels.len());
+        (start, end)
+    }
+
+    /// Child node number for a label position with `has_child = 1`.
+    #[inline]
+    fn child_node(&self, pos: usize) -> usize {
+        self.has_child.rank1(pos + 1)
+    }
+
+    /// Leaf index (suffix slot) for a label position with `has_child = 0`.
+    #[inline]
+    fn leaf_index(&self, pos: usize) -> usize {
+        self.has_child.rank0(pos)
+    }
+
+    /// First position of a byte label `>= c` within `[s, e)`, skipping the
+    /// terminator slot (terminators sort before every byte label).
+    #[inline]
+    fn lower_bound_label(&self, s: usize, e: usize, c: u8) -> usize {
+        let s = s + self.terms.get(s) as usize; // skip the terminator slot
+        let mut lo = s;
+        let mut hi = e;
+        while lo < hi {
+            let mid = (lo + hi) / 2;
+            if self.labels[mid] < c {
+                lo = mid + 1;
+            } else {
+                hi = mid;
+            }
+        }
+        lo
+    }
+
+    /// Exact position of byte label `c` in `[s, e)`, if present.
+    #[inline]
+    fn find_label(&self, s: usize, e: usize, c: u8) -> Option<usize> {
+        let p = self.lower_bound_label(s, e, c);
+        (p < e && self.labels[p] == c && !self.terms.get(p)).then_some(p)
+    }
+
+    #[inline]
+    fn suffix_matches(&self, leaf: usize, key: &[u8], consumed: usize) -> bool {
+        match self.suffix_kind {
+            SuffixKind::None => true,
+            SuffixKind::Hash => self.suffixes[leaf] == hash8(key),
+            SuffixKind::Real => {
+                self.suffixes[leaf] == key.get(consumed).copied().unwrap_or(0)
+            }
+        }
+    }
+
+    /// Approximate point membership: `false` is definite, `true` may be a
+    /// false positive (bounded by the suffix bits).
+    pub fn contains(&self, key: &[u8]) -> bool {
+        if self.num_keys == 0 {
+            return false;
+        }
+        let mut node = 0usize;
+        let mut d = 0usize;
+        loop {
+            let (s, e) = self.node_range(node);
+            if d == key.len() {
+                // Key exhausted: present iff this node has a terminator.
+                return self.terms.get(s) && self.suffix_matches(self.leaf_index(s), key, d);
+            }
+            match self.find_label(s, e, key[d]) {
+                None => return false,
+                Some(pos) => {
+                    if self.has_child.get(pos) {
+                        node = self.child_node(pos);
+                        d += 1;
+                    } else {
+                        return self.suffix_matches(self.leaf_index(pos), key, d + 1);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Iterator positioned at the smallest stored (truncated) key `>=
+    /// key`, or `None` if every stored key is smaller.
+    pub fn seek(&self, key: &[u8]) -> Option<SurfIter<'_>> {
+        if self.num_keys == 0 {
+            return None;
+        }
+        let mut it = SurfIter { surf: self, stack: Vec::new(), bytes: Vec::new() };
+        let mut node = 0usize;
+        let mut d = 0usize;
+        loop {
+            let (s, e) = self.node_range(node);
+            if d == key.len() {
+                // Everything in this node is >= the exhausted key.
+                it.stack.push(Frame { e, pos: s });
+                it.descend_to_leftmost();
+                return Some(it);
+            }
+            let c = key[d];
+            let p = self.lower_bound_label(s, e, c);
+            if p == e {
+                // Every label here is below c: backtrack to the next leaf.
+                return it.advance_from_exhausted();
+            }
+            it.stack.push(Frame { e, pos: p });
+            if self.labels[p] == c {
+                it.bytes.push(c);
+                if self.has_child.get(p) {
+                    node = self.child_node(p);
+                    d += 1;
+                    continue;
+                }
+                // Leaf matching the key prefix. With real suffixes we can
+                // compare one more byte; otherwise position here (errs
+                // toward inclusion: filters must not produce false
+                // negatives).
+                if self.suffix_kind == SuffixKind::Real {
+                    let leaf = self.leaf_index(p);
+                    if self.suffixes[leaf] < key.get(d + 1).copied().unwrap_or(0) {
+                        return it.next_leaf();
+                    }
+                }
+                return Some(it);
+            }
+            // labels[p] > c: the subtree at p is entirely > key.
+            it.descend_to_leftmost();
+            return Some(it);
+        }
+    }
+
+    /// Approximate closed-range emptiness test: may the filter contain a
+    /// key in `[low, high]`? `false` is definite.
+    pub fn range_may_contain(&self, low: &[u8], high: &[u8]) -> bool {
+        match self.seek(low) {
+            None => false,
+            Some(it) => {
+                let k = it.key();
+                // Truncated comparison, erring toward inclusion on ties.
+                let m = k.len().min(high.len());
+                k[..m] <= high[..m]
+            }
+        }
+    }
+
+    /// Number of label slots (diagnostics).
+    pub fn num_labels(&self) -> usize {
+        self.labels.len()
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Frame {
+    e: usize,
+    pos: usize,
+}
+
+/// In-order cursor over the stored (truncated) keys.
+#[derive(Debug)]
+pub struct SurfIter<'a> {
+    surf: &'a Surf,
+    stack: Vec<Frame>,
+    /// Byte labels along the current path (terminators excluded).
+    bytes: Vec<u8>,
+}
+
+impl<'a> SurfIter<'a> {
+    /// The truncated key at the current leaf.
+    pub fn key(&self) -> &[u8] {
+        &self.bytes
+    }
+
+    /// From the top frame's `pos` (a valid label), descend to the leftmost
+    /// leaf beneath it.
+    fn descend_to_leftmost(&mut self) {
+        loop {
+            let top = *self.stack.last().expect("non-empty stack");
+            let pos = top.pos;
+            if !self.surf.terms.get(pos) {
+                self.bytes.push(self.surf.labels[pos]);
+            }
+            if !self.surf.has_child.get(pos) {
+                return;
+            }
+            let node = self.surf.child_node(pos);
+            let (s, e) = self.surf.node_range(node);
+            self.stack.push(Frame { e, pos: s });
+        }
+    }
+
+    /// Advance to the next leaf in order; `None` at the end of the trie.
+    fn next_leaf(mut self) -> Option<SurfIter<'a>> {
+        // Pop the current leaf's byte, then advance positions.
+        loop {
+            let top = self.stack.last_mut()?;
+            if !self.surf.terms.get(top.pos) {
+                self.bytes.pop();
+            }
+            top.pos += 1;
+            if top.pos < top.e {
+                self.descend_to_leftmost();
+                return Some(self);
+            }
+            self.stack.pop();
+        }
+    }
+
+    /// Used by a seek that fell off the end of a node before pushing a
+    /// frame at the current level: the backtracking is identical to
+    /// advancing past the rightmost descendant.
+    fn advance_from_exhausted(self) -> Option<SurfIter<'a>> {
+        self.next_leaf()
+    }
+
+    /// Advance to the next stored key.
+    pub fn next(self) -> Option<SurfIter<'a>> {
+        self.next_leaf()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn keys(v: &[&str]) -> Vec<Vec<u8>> {
+        let mut k: Vec<Vec<u8>> = v.iter().map(|s| s.as_bytes().to_vec()).collect();
+        k.sort();
+        k.dedup();
+        k
+    }
+
+    #[test]
+    fn no_false_negatives_point() {
+        for kind in [SuffixKind::None, SuffixKind::Hash, SuffixKind::Real] {
+            let ks = keys(&["far", "fast", "s", "top", "toy", "trie", "trip", "try"]);
+            let s = Surf::build(&ks, kind);
+            for k in &ks {
+                assert!(s.contains(k), "{kind:?}: missing {k:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn definite_rejections() {
+        let ks = keys(&["far", "fast", "top", "toy"]);
+        let s = Surf::build(&ks, SuffixKind::Real);
+        assert!(!s.contains(b"zzz"));
+        assert!(!s.contains(b"a"));
+        // "f" is a strict prefix of stored keys, no terminator for it.
+        assert!(!s.contains(b"f"));
+    }
+
+    #[test]
+    fn prefix_keys_have_terminators() {
+        let ks = keys(&["a", "ab", "abc"]);
+        let s = Surf::build(&ks, SuffixKind::Real);
+        assert!(s.contains(b"a"));
+        assert!(s.contains(b"ab"));
+        assert!(s.contains(b"abc"));
+        assert!(!s.contains(b"b"));
+    }
+
+    #[test]
+    fn empty_key_and_empty_filter() {
+        let s = Surf::build(&Vec::<Vec<u8>>::new(), SuffixKind::None);
+        assert!(!s.contains(b"x"));
+        assert!(!s.range_may_contain(b"a", b"z"));
+        let ks = vec![b"".to_vec(), b"a".to_vec()];
+        let s = Surf::build(&ks, SuffixKind::None);
+        assert!(s.contains(b""));
+        assert!(s.contains(b"a"));
+    }
+
+    #[test]
+    fn range_queries_no_false_negatives() {
+        let ks = keys(&["bat", "cat", "dog", "eel", "fox"]);
+        let s = Surf::build(&ks, SuffixKind::Real);
+        assert!(s.range_may_contain(b"cat", b"cat"));
+        assert!(s.range_may_contain(b"ca", b"cb"));
+        assert!(s.range_may_contain(b"a", b"z"));
+        assert!(s.range_may_contain(b"dz", b"ef"));
+        assert!(!s.range_may_contain(b"fz", b"zz"));
+    }
+
+    #[test]
+    fn seek_iterates_in_order() {
+        let ks = keys(&["bat", "cat", "catalog", "dog", "eel"]);
+        let s = Surf::build(&ks, SuffixKind::None);
+        let mut it = s.seek(b"").unwrap();
+        let mut seen = vec![it.key().to_vec()];
+        while let Some(next) = it.next() {
+            it = next;
+            seen.push(it.key().to_vec());
+        }
+        assert_eq!(seen.len(), ks.len());
+        for w in seen.windows(2) {
+            assert!(w[0] < w[1], "iterator out of order: {seen:?}");
+        }
+    }
+
+    #[test]
+    fn avg_height_reflects_truncation() {
+        // Highly distinct keys truncate early: height well below key length.
+        let ks: Vec<Vec<u8>> = (0..200u32)
+            .map(|i| format!("{:08}suffix-padding-material", i * 7919).into_bytes())
+            .collect();
+        let mut sorted = ks.clone();
+        sorted.sort();
+        let s = Surf::build(&sorted, SuffixKind::None);
+        assert!(s.avg_height() < 10.0, "height {}", s.avg_height());
+        assert!(s.memory_bytes() > 0);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+        #[test]
+        fn point_membership_never_false_negative(
+            mut ks in proptest::collection::btree_set(
+                proptest::collection::vec(any::<u8>(), 0..12), 1..100),
+            probes in proptest::collection::vec(
+                proptest::collection::vec(any::<u8>(), 0..14), 0..50),
+        ) {
+            let ks: Vec<Vec<u8>> = std::mem::take(&mut ks).into_iter().collect();
+            for kind in [SuffixKind::None, SuffixKind::Hash, SuffixKind::Real] {
+                let s = Surf::build(&ks, kind);
+                for k in &ks {
+                    prop_assert!(s.contains(k), "{:?} missing {:?}", kind, k);
+                }
+                // Probes must never crash; rejection implies truly absent.
+                for p in &probes {
+                    if s.contains(p) {
+                        continue;
+                    }
+                    prop_assert!(!ks.contains(p), "false negative on {:?}", p);
+                }
+            }
+        }
+
+        #[test]
+        fn range_never_false_negative(
+            mut ks in proptest::collection::btree_set(
+                proptest::collection::vec(any::<u8>(), 1..10), 1..60),
+            ranges in proptest::collection::vec(
+                (proptest::collection::vec(any::<u8>(), 1..10),
+                 proptest::collection::vec(any::<u8>(), 1..10)), 0..30),
+        ) {
+            let ks: Vec<Vec<u8>> = std::mem::take(&mut ks).into_iter().collect();
+            let s = Surf::build(&ks, SuffixKind::Real);
+            for (a, b) in &ranges {
+                let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+                let truly = ks.iter().any(|k| k >= lo && k <= hi);
+                if truly {
+                    prop_assert!(s.range_may_contain(lo, hi),
+                        "false negative on [{:?}, {:?}]", lo, hi);
+                }
+            }
+        }
+    }
+}

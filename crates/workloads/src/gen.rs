@@ -1,0 +1,291 @@
+//! Synthetic dataset generators mirroring the paper's three corpora:
+//!
+//! * **Email** — 25M host-reversed addresses, avg 22 B (`com.gmail@foo`);
+//! * **Wiki**  — 14M article titles, avg 21 B;
+//! * **URL**   — 25M crawled URLs, avg 104 B.
+//!
+//! Counts are parameters here; the generators aim to reproduce the
+//! *statistics that matter to HOPE*: average length, heavy-hitting
+//! substring patterns (domains, words, path segments), and the skew of the
+//! n-gram distribution. Keys are returned deduplicated but unsorted
+//! (callers shuffle/sort per experiment).
+
+use crate::splitmix64;
+
+/// The three evaluation datasets.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Dataset {
+    /// Host-reversed email addresses.
+    Email,
+    /// Wikipedia-style article titles.
+    Wiki,
+    /// Crawled URLs.
+    Url,
+}
+
+impl Dataset {
+    /// All datasets in the paper's order.
+    pub const ALL: [Dataset; 3] = [Dataset::Email, Dataset::Wiki, Dataset::Url];
+
+    /// Display name used in figure output.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Dataset::Email => "Email",
+            Dataset::Wiki => "Wiki",
+            Dataset::Url => "URL",
+        }
+    }
+}
+
+impl std::fmt::Display for Dataset {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Generate `n` distinct keys for `dataset`, deterministically from `seed`.
+pub fn generate(dataset: Dataset, n: usize, seed: u64) -> Vec<Vec<u8>> {
+    let mut state = seed ^ 0xC0FF_EE15_600D;
+    let mut out = Vec::with_capacity(n);
+    let mut seen = std::collections::HashSet::with_capacity(n * 2);
+    let mut tries = 0usize;
+    while out.len() < n {
+        let key = match dataset {
+            Dataset::Email => email_key(&mut state),
+            Dataset::Wiki => wiki_key(&mut state),
+            Dataset::Url => url_key(&mut state),
+        };
+        tries += 1;
+        if seen.insert(key.clone()) {
+            out.push(key);
+        }
+        assert!(
+            tries < n * 20 + 1000,
+            "generator failed to produce {n} distinct keys"
+        );
+    }
+    out
+}
+
+/// Split an email dataset as in Appendix C: Email-A holds the gmail/yahoo
+/// accounts, Email-B everything else.
+pub fn generate_email_split(n: usize, seed: u64) -> (Vec<Vec<u8>>, Vec<Vec<u8>>) {
+    let keys = generate(Dataset::Email, n, seed);
+    let mut a = Vec::new();
+    let mut b = Vec::new();
+    for k in keys {
+        if k.starts_with(b"com.gmail@") || k.starts_with(b"com.yahoo@") {
+            a.push(k);
+        } else {
+            b.push(k);
+        }
+    }
+    (a, b)
+}
+
+// ---------------------------------------------------------------------------
+// Email
+// ---------------------------------------------------------------------------
+
+/// Domains with a realistic heavy head (already host-reversed).
+const EMAIL_HOSTS: &[&str] = &[
+    "com.gmail", "com.yahoo", "com.hotmail", "com.aol", "com.outlook",
+    "com.icloud", "com.mail", "com.gmx", "de.web", "de.gmx", "fr.orange",
+    "fr.wanadoo", "com.comcast", "net.verizon", "com.att", "org.mail",
+    "edu.mit", "edu.cmu", "edu.stanford", "com.protonmail", "com.zoho",
+    "co.uk.btinternet", "com.rediffmail", "net.earthlink", "com.qq",
+    "com.163", "com.126", "com.sina", "jp.co.yahoo", "ru.mail",
+    "ru.yandex", "com.live",
+];
+
+const FIRST_NAMES: &[&str] = &[
+    "james", "mary", "john", "patricia", "robert", "jennifer", "michael",
+    "linda", "william", "elizabeth", "david", "barbara", "richard", "susan",
+    "joseph", "jessica", "thomas", "sarah", "charles", "karen", "wei",
+    "ana", "juan", "maria", "mohammed", "fatima", "yuki", "chen", "raj",
+    "priya", "olga", "ivan", "hans", "sofia", "luca", "emma",
+];
+
+const SURNAMES: &[&str] = &[
+    "smith", "johnson", "williams", "brown", "jones", "garcia", "miller",
+    "davis", "rodriguez", "martinez", "wilson", "anderson", "taylor",
+    "thomas", "moore", "lee", "perez", "white", "harris", "clark", "wang",
+    "li", "zhang", "kumar", "singh", "sato", "tanaka", "ivanov", "muller",
+    "rossi", "silva", "kim", "park", "nguyen", "tran", "cohen",
+];
+
+fn email_key(state: &mut u64) -> Vec<u8> {
+    // Zipf-flavoured host pick: square the uniform variate to skew low
+    // ranks (gmail/yahoo dominate, like real mail corpora).
+    let r = splitmix64(state);
+    let u = (r >> 11) as f64 / (1u64 << 53) as f64;
+    let host = EMAIL_HOSTS[((u * u) * EMAIL_HOSTS.len() as f64) as usize % EMAIL_HOSTS.len()];
+    let first = FIRST_NAMES[(splitmix64(state) as usize) % FIRST_NAMES.len()];
+    let style = splitmix64(state) % 5;
+    let num = splitmix64(state) % 10_000;
+    let user = match style {
+        0 => format!("{first}{num}"),
+        1 => {
+            let last = SURNAMES[(splitmix64(state) as usize) % SURNAMES.len()];
+            format!("{first}.{last}")
+        }
+        2 => {
+            let last = SURNAMES[(splitmix64(state) as usize) % SURNAMES.len()];
+            format!("{}{last}{}", first.chars().next().unwrap(), num % 100)
+        }
+        3 => format!("{first}_{num}"),
+        _ => {
+            let last = SURNAMES[(splitmix64(state) as usize) % SURNAMES.len()];
+            format!("{last}.{first}{}", num % 100)
+        }
+    };
+    format!("{host}@{user}").into_bytes()
+}
+
+// ---------------------------------------------------------------------------
+// Wiki
+// ---------------------------------------------------------------------------
+
+const WIKI_WORDS: &[&str] = &[
+    "History", "List", "of", "the", "United", "States", "County",
+    "Championship", "Station", "Railway", "River", "University", "School",
+    "District", "National", "Park", "Church", "House", "Album", "Song",
+    "Film", "Season", "Football", "Club", "Battle", "World", "War",
+    "Museum", "Island", "Lake", "Mountain", "North", "South", "East",
+    "West", "New", "Grand", "Saint", "Fort", "Old", "Royal", "City",
+    "Village", "Township", "Airport", "Bridge", "Castle", "Cathedral",
+    "Elections", "Census", "Division", "Department", "Province", "Region",
+];
+
+fn wiki_key(state: &mut u64) -> Vec<u8> {
+    let words = 2 + (splitmix64(state) % 3) as usize;
+    let mut title = String::new();
+    for w in 0..words {
+        if w > 0 {
+            title.push('_');
+        }
+        // Zipf-ish word choice.
+        let r = splitmix64(state);
+        let u = (r >> 11) as f64 / (1u64 << 53) as f64;
+        let idx = ((u * u) * WIKI_WORDS.len() as f64) as usize % WIKI_WORDS.len();
+        title.push_str(WIKI_WORDS[idx]);
+    }
+    // Disambiguators like real titles ("... (1987 film)" or a number).
+    match splitmix64(state) % 4 {
+        0 => title.push_str(&format!("_({})", 1850 + splitmix64(state) % 180)),
+        1 => title.push_str(&format!("_{}", splitmix64(state) % 100_000)),
+        _ => {}
+    }
+    title.into_bytes()
+}
+
+// ---------------------------------------------------------------------------
+// URL
+// ---------------------------------------------------------------------------
+
+const URL_SITES: &[&str] = &[
+    "www.bbc.co.uk", "news.bbc.co.uk", "www.parliament.uk", "www.guardian.co.uk",
+    "www.dailymail.co.uk", "www.cambridge.ac.uk", "www.ox.ac.uk",
+    "www.amazon.co.uk", "www.nationaltrust.org.uk", "www.gov.uk",
+    "www.visitbritain.com", "www.timesonline.co.uk", "www.channel4.com",
+    "www.manutd.com", "www.rightmove.co.uk",
+];
+
+const URL_SEGMENTS: &[&str] = &[
+    "news", "sport", "articles", "archive", "category", "products",
+    "research", "politics", "business", "entertainment", "technology",
+    "education", "health", "science", "travel", "images", "media",
+    "documents", "reports", "2006", "2007", "uk", "world", "england",
+    "football", "cricket", "story", "comment", "profile", "static",
+];
+
+fn url_key(state: &mut u64) -> Vec<u8> {
+    let r = splitmix64(state);
+    let u = (r >> 11) as f64 / (1u64 << 53) as f64;
+    let site = URL_SITES[((u * u) * URL_SITES.len() as f64) as usize % URL_SITES.len()];
+    let mut url = format!("http://{site}/");
+    let segs = 3 + (splitmix64(state) % 4) as usize;
+    for _ in 0..segs {
+        let s = URL_SEGMENTS[(splitmix64(state) as usize) % URL_SEGMENTS.len()];
+        url.push_str(s);
+        url.push('/');
+    }
+    match splitmix64(state) % 3 {
+        0 => url.push_str(&format!("article{:08}.html", splitmix64(state) % 100_000_000)),
+        1 => url.push_str(&format!("item-{:010}", splitmix64(state) % 10_000_000_000)),
+        _ => url.push_str(&format!("{:07}/index.html?page={}", splitmix64(state) % 10_000_000, splitmix64(state) % 50)),
+    }
+    url.into_bytes()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn avg_len(keys: &[Vec<u8>]) -> f64 {
+        keys.iter().map(|k| k.len()).sum::<usize>() as f64 / keys.len() as f64
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        for d in Dataset::ALL {
+            let a = generate(d, 500, 1);
+            let b = generate(d, 500, 1);
+            assert_eq!(a, b, "{d}");
+            let c = generate(d, 500, 2);
+            assert_ne!(a, c, "{d}");
+        }
+    }
+
+    #[test]
+    fn keys_are_distinct() {
+        for d in Dataset::ALL {
+            let keys = generate(d, 5000, 3);
+            let set: std::collections::HashSet<_> = keys.iter().collect();
+            assert_eq!(set.len(), keys.len(), "{d}");
+        }
+    }
+
+    #[test]
+    fn average_lengths_match_paper() {
+        // Email ≈ 22, Wiki ≈ 21, URL ≈ 104 (generous tolerances).
+        let e = avg_len(&generate(Dataset::Email, 4000, 4));
+        assert!((15.0..30.0).contains(&e), "email avg {e}");
+        let w = avg_len(&generate(Dataset::Wiki, 4000, 4));
+        assert!((12.0..30.0).contains(&w), "wiki avg {w}");
+        let u = avg_len(&generate(Dataset::Url, 4000, 4));
+        assert!((60.0..130.0).contains(&u), "url avg {u}");
+    }
+
+    #[test]
+    fn email_keys_are_host_reversed() {
+        let keys = generate(Dataset::Email, 200, 5);
+        for k in &keys {
+            let s = std::str::from_utf8(k).unwrap();
+            assert!(s.contains('@'), "{s}");
+            assert!(
+                s.starts_with("com.") || s.starts_with("de.") || s.starts_with("fr.")
+                    || s.starts_with("net.") || s.starts_with("org.")
+                    || s.starts_with("edu.") || s.starts_with("co.")
+                    || s.starts_with("jp.") || s.starts_with("ru."),
+                "not host-reversed: {s}"
+            );
+        }
+    }
+
+    #[test]
+    fn email_split_partitions() {
+        let (a, b) = generate_email_split(2000, 6);
+        assert_eq!(a.len() + b.len(), 2000);
+        assert!(!a.is_empty() && !b.is_empty());
+        assert!(a.iter().all(|k| k.starts_with(b"com.gmail@") || k.starts_with(b"com.yahoo@")));
+        assert!(b.iter().all(|k| !k.starts_with(b"com.gmail@") && !k.starts_with(b"com.yahoo@")));
+    }
+
+    #[test]
+    fn urls_share_long_prefixes() {
+        let keys = generate(Dataset::Url, 1000, 7);
+        // All start with http:// — the prefix HOPE exploits.
+        assert!(keys.iter().all(|k| k.starts_with(b"http://")));
+    }
+}

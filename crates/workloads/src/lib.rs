@@ -1,0 +1,75 @@
+//! # hope-workloads — datasets and YCSB drivers for the HOPE evaluation
+//!
+//! The paper evaluates on three string-key datasets (Email, Wiki, URL) and
+//! YCSB workloads C (point lookups) and E (range scans + inserts) with a
+//! Zipf request distribution. The original datasets are not redistributable;
+//! this crate generates synthetic equivalents that preserve the entropy
+//! structure HOPE exploits (see DESIGN.md, "Substitutions").
+//!
+//! ```
+//! use hope_workloads::{Dataset, generate};
+//!
+//! let keys = generate(Dataset::Email, 1000, 42);
+//! assert_eq!(keys.len(), 1000);
+//! assert!(keys[0].windows(1).any(|w| w == b"@")); // host-reversed emails
+//! ```
+
+#![warn(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod gen;
+pub mod ycsb;
+pub mod zipf;
+
+pub use gen::{generate, generate_email_split, Dataset};
+pub use ycsb::{Op, WorkloadSpec, YcsbWorkload};
+pub use zipf::ScrambledZipf;
+
+/// Deterministic 64-bit mix (SplitMix64) used across the generators.
+#[inline]
+pub(crate) fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E3779B97F4A7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+    z ^ (z >> 31)
+}
+
+/// Take a `percent`% sample of `keys` deterministically (the paper samples
+/// 1% of the shuffled dataset for the build phase).
+pub fn sample_keys(keys: &[Vec<u8>], percent: f64, seed: u64) -> Vec<Vec<u8>> {
+    assert!(percent > 0.0 && percent <= 100.0);
+    let want = ((keys.len() as f64 * percent / 100.0).round() as usize)
+        .clamp(1.min(keys.len()), keys.len());
+    let mut state = seed ^ 0xA5A5_5A5A_DEAD_BEEF;
+    let mut idx: Vec<usize> = (0..keys.len()).collect();
+    // Partial Fisher-Yates: shuffle just the prefix we take.
+    for i in 0..want {
+        let j = i + (splitmix64(&mut state) as usize) % (keys.len() - i);
+        idx.swap(i, j);
+    }
+    idx[..want].iter().map(|&i| keys[i].clone()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sampling_is_deterministic_and_sized() {
+        let keys = generate(Dataset::Email, 5000, 7);
+        let a = sample_keys(&keys, 1.0, 99);
+        let b = sample_keys(&keys, 1.0, 99);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 50);
+        let c = sample_keys(&keys, 1.0, 100);
+        assert_ne!(a, c, "different seeds should sample differently");
+    }
+
+    #[test]
+    fn sample_of_tiny_sets() {
+        let keys = vec![b"one".to_vec()];
+        let s = sample_keys(&keys, 1.0, 1);
+        assert_eq!(s.len(), 1);
+    }
+}

@@ -1,0 +1,125 @@
+//! YCSB-style workload drivers (§7.1): the paper uses workloads C and E
+//! with a Zipf request distribution, replacing YCSB's generated keys with
+//! the dataset keys one-to-one (preserving the skew).
+//!
+//! * **Workload C** — 100% point lookups;
+//! * **Workload E** — 95% short range scans (start key + uniform scan
+//!   length in 1..=100), 5% inserts.
+
+use crate::zipf::ScrambledZipf;
+
+/// One benchmark operation over the dataset keys.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Op {
+    /// Point lookup of the key at this dataset index.
+    Read(usize),
+    /// Range scan starting at this dataset index, for `len` keys.
+    Scan(usize, usize),
+    /// Insert of the key at this dataset index (keys are pre-split into a
+    /// loaded part and an insert stream by the driver).
+    Insert(usize),
+}
+
+/// Which YCSB workload mix to generate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WorkloadSpec {
+    /// Workload C: 100% reads.
+    C,
+    /// Workload E: 95% scans, 5% inserts, scan length uniform in 1..=100.
+    E,
+}
+
+/// A generated operation stream plus the load/insert split.
+#[derive(Debug)]
+pub struct YcsbWorkload {
+    /// Keys 0..load_count are bulk-loaded before the measured phase.
+    pub load_count: usize,
+    /// Operation stream over dataset indices.
+    pub ops: Vec<Op>,
+}
+
+impl YcsbWorkload {
+    /// Generate `num_ops` operations over a dataset of `num_keys` keys.
+    ///
+    /// For workload E, 5% of the keys (at the tail of the index space) are
+    /// reserved as the insert stream; the rest are bulk-loaded. For
+    /// workload C everything is loaded.
+    pub fn generate(spec: WorkloadSpec, num_keys: usize, num_ops: usize, seed: u64) -> Self {
+        assert!(num_keys > 1, "need at least two keys");
+        let mut inserts_reserved = match spec {
+            WorkloadSpec::C => 0,
+            WorkloadSpec::E => (num_ops / 20 + 1).min(num_keys / 2),
+        };
+        let load_count = num_keys - inserts_reserved;
+        let mut zipf = ScrambledZipf::ycsb(load_count, seed ^ 0x1357);
+        let mut aux = seed ^ 0x2468;
+        let mut next_insert = load_count;
+        let mut ops = Vec::with_capacity(num_ops);
+        for _ in 0..num_ops {
+            match spec {
+                WorkloadSpec::C => ops.push(Op::Read(zipf.next())),
+                WorkloadSpec::E => {
+                    let r = crate::splitmix64(&mut aux) % 100;
+                    if r < 5 && inserts_reserved > 0 {
+                        ops.push(Op::Insert(next_insert));
+                        next_insert += 1;
+                        inserts_reserved -= 1;
+                    } else {
+                        let len = 1 + (crate::splitmix64(&mut aux) % 100) as usize;
+                        ops.push(Op::Scan(zipf.next(), len));
+                    }
+                }
+            }
+        }
+        YcsbWorkload { load_count, ops }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workload_c_is_all_reads() {
+        let w = YcsbWorkload::generate(WorkloadSpec::C, 1000, 500, 1);
+        assert_eq!(w.load_count, 1000);
+        assert!(w.ops.iter().all(|o| matches!(o, Op::Read(_))));
+        assert_eq!(w.ops.len(), 500);
+    }
+
+    #[test]
+    fn workload_e_mixes_scans_and_inserts() {
+        let w = YcsbWorkload::generate(WorkloadSpec::E, 10_000, 2000, 2);
+        let scans = w.ops.iter().filter(|o| matches!(o, Op::Scan(..))).count();
+        let inserts = w.ops.iter().filter(|o| matches!(o, Op::Insert(_))).count();
+        assert_eq!(scans + inserts, 2000);
+        // ~5% inserts.
+        assert!((40..=160).contains(&inserts), "inserts = {inserts}");
+        assert!(w.load_count < 10_000);
+        // Insert indices are fresh keys beyond the loaded range, in order.
+        let mut expect = w.load_count;
+        for op in &w.ops {
+            if let Op::Insert(i) = op {
+                assert_eq!(*i, expect);
+                expect += 1;
+            }
+        }
+    }
+
+    #[test]
+    fn scan_lengths_in_ycsb_range() {
+        let w = YcsbWorkload::generate(WorkloadSpec::E, 5000, 1000, 3);
+        for op in &w.ops {
+            if let Op::Scan(start, len) = op {
+                assert!(*start < w.load_count);
+                assert!((1..=100).contains(len));
+            }
+        }
+    }
+
+    #[test]
+    fn reads_stay_within_loaded_keys() {
+        let w = YcsbWorkload::generate(WorkloadSpec::C, 100, 10_000, 4);
+        assert!(w.ops.iter().all(|o| matches!(o, Op::Read(i) if *i < 100)));
+    }
+}

@@ -1,0 +1,125 @@
+//! Scrambled-Zipfian request distribution, as used by YCSB (and therefore
+//! by the paper's §7 workloads). Ranks follow a Zipf law with the YCSB
+//! default exponent θ = 0.99; the rank→item mapping is scrambled by a hash
+//! so that popular items are spread across the key space.
+
+use crate::splitmix64;
+
+/// YCSB's default Zipfian constant.
+pub const YCSB_THETA: f64 = 0.99;
+
+/// Zipf sampler over `0..n` with hash scrambling (Gray et al. algorithm,
+/// the same one YCSB uses).
+#[derive(Debug, Clone)]
+pub struct ScrambledZipf {
+    n: usize,
+    alpha: f64,
+    zetan: f64,
+    eta: f64,
+    half_pow: f64,
+    state: u64,
+}
+
+impl ScrambledZipf {
+    /// Sampler over `0..n` with exponent `theta`, seeded deterministically.
+    pub fn new(n: usize, theta: f64, seed: u64) -> Self {
+        assert!(n > 0, "empty item space");
+        assert!((0.0..1.0).contains(&theta), "theta must be in [0,1)");
+        let zetan = zeta(n, theta);
+        let zeta2 = zeta(2.min(n), theta);
+        let alpha = 1.0 / (1.0 - theta);
+        let eta = (1.0 - (2.0 / n as f64).powf(1.0 - theta)) / (1.0 - zeta2 / zetan);
+        ScrambledZipf {
+            n,
+            alpha,
+            zetan,
+            eta,
+            half_pow: 1.0 + 0.5f64.powf(theta),
+            state: seed ^ 0x5EED_0F21_4F2A_77AA,
+        }
+    }
+
+    /// Sampler with the YCSB default θ.
+    pub fn ycsb(n: usize, seed: u64) -> Self {
+        Self::new(n, YCSB_THETA, seed)
+    }
+
+    /// Next item index in `0..n` (scrambled).
+    #[allow(clippy::should_implement_trait)]
+    pub fn next(&mut self) -> usize {
+        let rank = self.next_rank();
+        // Scramble: spread hot ranks over the item space.
+        let mut h = rank as u64 ^ 0x9E3779B97F4A7C15;
+        h ^= h >> 33;
+        h = h.wrapping_mul(0xFF51AFD7ED558CCD);
+        h ^= h >> 33;
+        (h % self.n as u64) as usize
+    }
+
+    /// Next Zipf rank in `0..n` (rank 0 most popular, unscrambled).
+    pub fn next_rank(&mut self) -> usize {
+        let u = (splitmix64(&mut self.state) >> 11) as f64 / (1u64 << 53) as f64;
+        let uz = u * self.zetan;
+        if uz < 1.0 {
+            return 0;
+        }
+        if uz < self.half_pow {
+            return 1;
+        }
+        let r = ((self.n as f64) * (self.eta * u - self.eta + 1.0).powf(self.alpha)) as usize;
+        r.min(self.n - 1)
+    }
+}
+
+fn zeta(n: usize, theta: f64) -> f64 {
+    (1..=n).map(|i| 1.0 / (i as f64).powf(theta)).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ranks_are_skewed() {
+        let mut z = ScrambledZipf::new(1000, YCSB_THETA, 42);
+        let mut counts = vec![0usize; 1000];
+        for _ in 0..100_000 {
+            counts[z.next_rank()] += 1;
+        }
+        // Rank 0 must dominate; the head must hold most mass.
+        assert!(counts[0] > counts[10] && counts[10] > 0);
+        let head: usize = counts[..10].iter().sum();
+        assert!(head > 30_000, "head mass {head}");
+    }
+
+    #[test]
+    fn scrambled_items_cover_space() {
+        let mut z = ScrambledZipf::ycsb(100, 7);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..10_000 {
+            let i = z.next();
+            assert!(i < 100);
+            seen.insert(i);
+        }
+        assert!(seen.len() > 50, "covered {} items", seen.len());
+    }
+
+    #[test]
+    fn deterministic() {
+        let a: Vec<usize> = {
+            let mut z = ScrambledZipf::ycsb(500, 9);
+            (0..100).map(|_| z.next()).collect()
+        };
+        let b: Vec<usize> = {
+            let mut z = ScrambledZipf::ycsb(500, 9);
+            (0..100).map(|_| z.next()).collect()
+        };
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty item space")]
+    fn rejects_empty_space() {
+        let _ = ScrambledZipf::ycsb(0, 1);
+    }
+}

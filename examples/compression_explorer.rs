@@ -1,0 +1,39 @@
+//! Explore the compression-rate vs encoding-speed trade-off (§3.3) across
+//! all six schemes and the three datasets — a miniature of Figure 8 you
+//! can point at your own parameters.
+//!
+//! Run: `cargo run --release --example compression_explorer [keys]`
+
+use hope::{stats, HopeBuilder, Scheme};
+use hope_workloads::{generate, sample_keys, Dataset};
+
+fn main() {
+    let n: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(30_000);
+
+    for dataset in Dataset::ALL {
+        let keys = generate(dataset, n, 99);
+        let sample = sample_keys(&keys, ((5000.0 / n as f64) * 100.0).clamp(1.0, 100.0), 1);
+        let avg = keys.iter().map(|k| k.len()).sum::<usize>() as f64 / keys.len() as f64;
+        println!("\n== {dataset} ({n} keys, avg {avg:.1} B) ==");
+        println!(
+            "{:14} {:>8} {:>9} {:>12} {:>10} {:>10}",
+            "scheme", "CPR", "bits/key", "ns/char", "dict", "dict_KB"
+        );
+        for scheme in Scheme::ALL {
+            let hope = HopeBuilder::new(scheme)
+                .dictionary_entries(1 << 14)
+                .build_from_sample(sample.iter().cloned())
+                .expect("build");
+            let st = stats::measure(&hope, &keys);
+            println!(
+                "{:14} {:>8.3} {:>9.1} {:>12.2} {:>10} {:>10.1}",
+                scheme.name(),
+                st.cpr(),
+                st.enc_bits as f64 / keys.len() as f64,
+                st.latency_ns_per_char(),
+                hope.dict_entries(),
+                hope.dict_memory_bytes() as f64 / 1024.0,
+            );
+        }
+    }
+}

@@ -1,0 +1,64 @@
+//! SuRF + HOPE as an in-memory range filter in front of slow storage
+//! (§1's "minimize the number of I/Os" scenario): the filter answers
+//! "might the store contain a key in [low, high]?" from a few MB of DRAM,
+//! and compression buys either less memory or a lower false-positive rate.
+//!
+//! Run: `cargo run --release --example range_filter`
+
+use hope::{HopeBuilder, Scheme};
+use hope_surf::{SuffixKind, Surf};
+use hope_workloads::{generate, sample_keys, Dataset};
+
+fn main() {
+    let n = 50_000;
+    let all = generate(Dataset::Url, 2 * n, 3);
+    let (stored, absent) = all.split_at(n);
+    let sample = sample_keys(stored, 10.0, 5);
+
+    println!("{} URLs stored, probing with {} absent URLs\n", stored.len(), absent.len());
+    println!(
+        "{:26} {:>9} {:>10} {:>10}",
+        "filter", "mem_KB", "FPR_%", "height"
+    );
+
+    // Raw-key filter.
+    report("SuRF-Real8 / raw", None, stored, absent);
+
+    // HOPE-compressed filters.
+    for (scheme, dict) in [(Scheme::DoubleChar, 65792), (Scheme::FourGrams, 1 << 16)] {
+        let hope = HopeBuilder::new(scheme)
+            .dictionary_entries(dict)
+            .build_from_sample(sample.iter().cloned())
+            .expect("build");
+        report(&format!("SuRF-Real8 / {}", scheme.name()), Some(hope), stored, absent);
+    }
+}
+
+fn report(label: &str, hope: Option<hope::Hope>, stored: &[Vec<u8>], absent: &[Vec<u8>]) {
+    let enc = |k: &[u8]| -> Vec<u8> {
+        match &hope {
+            Some(h) => h.encode(k).into_bytes(),
+            None => k.to_vec(),
+        }
+    };
+    let mut sorted: Vec<Vec<u8>> = stored.iter().map(|k| enc(k)).collect();
+    sorted.sort_unstable();
+    sorted.dedup();
+    let surf = Surf::build(&sorted, SuffixKind::Real);
+
+    // Every stored key must pass (no false negatives — ever).
+    for k in stored {
+        assert!(surf.contains(&enc(k)), "false negative");
+    }
+    // Absent keys measure the false-positive rate.
+    let fp = absent.iter().filter(|k| surf.contains(&enc(k))).count();
+
+    let mem = surf.memory_bytes() + hope.as_ref().map_or(0, |h| h.dict_memory_bytes());
+    println!(
+        "{:26} {:>9.1} {:>10.2} {:>10.2}",
+        label,
+        mem as f64 / 1024.0,
+        fp as f64 / absent.len() as f64 * 100.0,
+        surf.avg_height()
+    );
+}

@@ -1,0 +1,137 @@
+//! End-to-end order preservation: for every scheme and every search tree,
+//! inserting HOPE-encoded keys and scanning must return values in exactly
+//! the same order as the raw-key tree — the property (§3.1) that makes
+//! range queries on compressed keys meaningful.
+
+use hope::{EncodedKey, HopeBuilder, Scheme};
+use hope_workloads::{generate, sample_keys, Dataset};
+
+fn dataset_keys(dataset: Dataset, n: usize) -> Vec<Vec<u8>> {
+    generate(dataset, n, 0xDEC0DE)
+}
+
+fn build(scheme: Scheme, sample: &[Vec<u8>]) -> hope::Hope {
+    HopeBuilder::new(scheme)
+        .dictionary_entries(1 << 12)
+        .build_from_sample(sample.iter().cloned())
+        .expect("build")
+}
+
+#[test]
+fn encoded_keys_sort_like_source_keys() {
+    for dataset in Dataset::ALL {
+        let keys = dataset_keys(dataset, 3000);
+        let sample = sample_keys(&keys, 10.0, 1);
+        for scheme in Scheme::ALL {
+            let hope = build(scheme, &sample);
+            let mut pairs: Vec<(EncodedKey, &Vec<u8>)> =
+                keys.iter().map(|k| (hope.encode(k), k)).collect();
+            pairs.sort_by(|a, b| a.0.cmp(&b.0));
+            let mut expect: Vec<&Vec<u8>> = keys.iter().collect();
+            expect.sort();
+            let got: Vec<&Vec<u8>> = pairs.into_iter().map(|(_, k)| k).collect();
+            assert_eq!(got, expect, "{dataset}/{scheme}: encoded order diverges");
+        }
+    }
+}
+
+#[test]
+fn padded_bytes_are_collision_free_on_all_datasets() {
+    // The EncodedKey order uses (bytes, bit_len); trees index the padded
+    // bytes alone. Verify the corner case (all-zero extension ties) never
+    // occurs on the evaluation datasets.
+    for dataset in Dataset::ALL {
+        let keys = dataset_keys(dataset, 3000);
+        let sample = sample_keys(&keys, 10.0, 2);
+        for scheme in Scheme::ALL {
+            let hope = build(scheme, &sample);
+            let mut seen = std::collections::HashSet::new();
+            for k in &keys {
+                let e = hope.encode(k).into_bytes();
+                assert!(seen.insert(e), "{dataset}/{scheme}: padded collision");
+            }
+        }
+    }
+}
+
+#[test]
+fn tree_scans_agree_between_raw_and_encoded() {
+    let keys = dataset_keys(Dataset::Email, 2000);
+    let sample = sample_keys(&keys, 20.0, 3);
+    for scheme in [Scheme::DoubleChar, Scheme::ThreeGrams, Scheme::AlmImproved] {
+        let hope = build(scheme, &sample);
+
+        // ART
+        let mut raw = hope_art::Art::new();
+        let mut enc = hope_art::Art::new();
+        for (i, k) in keys.iter().enumerate() {
+            raw.insert(k, i as u64);
+            enc.insert(hope.encode(k).as_bytes(), i as u64);
+        }
+        for start in keys.iter().step_by(117) {
+            let want = raw.scan(start, 20);
+            let got = enc.scan(hope.encode(start).as_bytes(), 20);
+            assert_eq!(got, want, "{scheme}: ART scan from {start:?}");
+        }
+
+        // HOT
+        let mut raw = hope_hot::Hot::new();
+        let mut enc = hope_hot::Hot::new();
+        for (i, k) in keys.iter().enumerate() {
+            raw.insert(k, i as u64);
+            enc.insert(hope.encode(k).as_bytes(), i as u64);
+        }
+        for start in keys.iter().step_by(117) {
+            assert_eq!(
+                enc.scan(hope.encode(start).as_bytes(), 20),
+                raw.scan(start, 20),
+                "{scheme}: HOT scan"
+            );
+        }
+
+        // B+trees
+        for prefix_mode in [false, true] {
+            let mk = || {
+                if prefix_mode {
+                    hope_btree::BPlusTree::prefix()
+                } else {
+                    hope_btree::BPlusTree::plain()
+                }
+            };
+            let mut raw = mk();
+            let mut enc = mk();
+            for (i, k) in keys.iter().enumerate() {
+                raw.insert(k, i as u64);
+                enc.insert(hope.encode(k).as_bytes(), i as u64);
+            }
+            for start in keys.iter().step_by(117) {
+                assert_eq!(
+                    enc.scan(hope.encode(start).as_bytes(), 20),
+                    raw.scan(start, 20),
+                    "{scheme}: B+tree(prefix={prefix_mode}) scan"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn scan_from_unseen_start_keys() {
+    // Range starts that were never inserted (the common case in YCSB E).
+    let keys = dataset_keys(Dataset::Wiki, 1500);
+    let probes = dataset_keys(Dataset::Wiki, 2500);
+    let sample = sample_keys(&keys, 20.0, 4);
+    let hope = build(Scheme::FourGrams, &sample);
+
+    let mut raw = hope_art::Art::new();
+    let mut enc = hope_art::Art::new();
+    for (i, k) in keys.iter().enumerate() {
+        raw.insert(k, i as u64);
+        enc.insert(hope.encode(k).as_bytes(), i as u64);
+    }
+    for p in probes.iter().step_by(53) {
+        let want = raw.scan(p, 10);
+        let got = enc.scan(hope.encode(p).as_bytes(), 10);
+        assert_eq!(got, want, "scan from unseen {p:?}");
+    }
+}
