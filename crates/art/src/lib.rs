@@ -85,14 +85,12 @@ impl Children {
 
     fn get(&self, label: u8) -> Option<Ptr> {
         match self {
-            Children::N4 { count, labels, ptrs } => labels[..*count as usize]
-                .iter()
-                .position(|&l| l == label)
-                .map(|i| ptrs[i]),
-            Children::N16 { count, labels, ptrs } => labels[..*count as usize]
-                .iter()
-                .position(|&l| l == label)
-                .map(|i| ptrs[i]),
+            Children::N4 { count, labels, ptrs } => {
+                labels[..*count as usize].iter().position(|&l| l == label).map(|i| ptrs[i])
+            }
+            Children::N16 { count, labels, ptrs } => {
+                labels[..*count as usize].iter().position(|&l| l == label).map(|i| ptrs[i])
+            }
             Children::N48 { index, ptrs, .. } => {
                 let s = index[label as usize];
                 (s != NO_SLOT).then(|| ptrs[s as usize])
@@ -296,11 +294,7 @@ impl Art {
     /// bytes; see DESIGN.md on what the leaf represents).
     pub fn memory_bytes(&self) -> usize {
         self.node_memory_bytes()
-            + self
-                .leaves
-                .iter()
-                .map(|l| std::mem::size_of::<Leaf>() + l.key.len())
-                .sum::<usize>()
+            + self.leaves.iter().map(|l| std::mem::size_of::<Leaf>() + l.key.len()).sum::<usize>()
     }
 
     /// Memory of the inner structure only (leaf keys excluded).

@@ -26,9 +26,7 @@ fn bench_dicts(c: &mut Criterion) {
 
     let mut group = c.benchmark_group("dict_lookup_3grams");
     group.throughput(Throughput::Elements(probes.len() as u64));
-    group.bench_function("sorted_binary_search", |b| {
-        b.iter(|| run_encode_loop(&sorted, &probes))
-    });
+    group.bench_function("sorted_binary_search", |b| b.iter(|| run_encode_loop(&sorted, &probes)));
     group.bench_function("bitmap_trie", |b| b.iter(|| run_encode_loop(&bitmap, &probes)));
     group.bench_function("art_based", |b| b.iter(|| run_encode_loop(&art, &probes)));
     group.finish();

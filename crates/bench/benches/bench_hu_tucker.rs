@@ -14,7 +14,11 @@ fn weights_of(n: usize) -> Vec<u64> {
             x ^= x << 13;
             x ^= x >> 7;
             x ^= x << 17;
-            if x % 10 < 8 { 1 } else { x % 100_000 + 1 }
+            if x % 10 < 8 {
+                1
+            } else {
+                x % 100_000 + 1
+            }
         })
         .collect()
 }

@@ -5,7 +5,7 @@
 //!
 //! Also prints Table 1 (module configuration) with `--table1`.
 //!
-//! Usage: `cargo run --release -p hope-bench --bin fig08_microbench
+//! Usage: `cargo run --release -p hope_bench --bin fig08_microbench
 //!         [-- --keys N --quick --table1 --full]`
 
 use hope::stats;

@@ -8,7 +8,7 @@
 //! cost of the ALM schemes (substring statistics) still dwarfs the others,
 //! as in the paper.
 //!
-//! Usage: `cargo run --release -p hope-bench --bin fig09_build_time`
+//! Usage: `cargo run --release -p hope_bench --bin fig09_build_time`
 
 use hope::Scheme;
 use hope_bench::{build_hope, load_dataset, BenchConfig};
@@ -24,7 +24,8 @@ fn main() {
         "scheme", "dict", "symbol_sel_ms", "code_asgn_ms", "dict_build_ms", "total_ms"
     );
 
-    let mut runs: Vec<(Scheme, usize)> = vec![(Scheme::SingleChar, 256), (Scheme::DoubleChar, 65792)];
+    let mut runs: Vec<(Scheme, usize)> =
+        vec![(Scheme::SingleChar, 256), (Scheme::DoubleChar, 65792)];
     for scheme in [Scheme::ThreeGrams, Scheme::FourGrams, Scheme::Alm, Scheme::AlmImproved] {
         runs.push((scheme, 1 << 12));
         runs.push((scheme, 1 << 16));

@@ -6,7 +6,7 @@
 //! its last byte incremented; both endpoints are pair-encoded (§4.2).
 //! `--model` additionally prints the §5 analytic latency-reduction model.
 //!
-//! Usage: `cargo run --release -p hope-bench --bin fig10_surf_ycsb
+//! Usage: `cargo run --release -p hope_bench --bin fig10_surf_ycsb
 //!         [-- --keys N --queries N --quick --model]`
 
 use hope_bench::{

@@ -4,7 +4,7 @@
 //! The paper's claim: HOPE-compressed keys lower the FPR at the same
 //! suffix configuration, because every stored bit carries more information.
 //!
-//! Usage: `cargo run --release -p hope-bench --bin fig11_surf_fpr`
+//! Usage: `cargo run --release -p hope_bench --bin fig11_surf_fpr`
 
 use hope_bench::{build_hope, load_dataset, paper_tree_configs, BenchConfig};
 use hope_surf::{SuffixKind, Surf};
@@ -21,10 +21,7 @@ fn main() {
 
     println!("# Figure 11: SuRF false positive rate, email point queries");
     println!("# loaded {} keys, {} negative queries", loaded.len(), negatives.len());
-    println!(
-        "{:20} {:>12} {:>14}",
-        "config", "SuRF_FPR_%", "SuRF-Real8_FPR_%"
-    );
+    println!("{:20} {:>12} {:>14}", "config", "SuRF_FPR_%", "SuRF-Real8_FPR_%");
 
     report("Uncompressed", None, loaded, negatives);
     for (scheme, limit, label) in paper_tree_configs() {
@@ -49,8 +46,7 @@ fn report(label: &str, hope: Option<hope::Hope>, loaded: &[Vec<u8>], negatives: 
     let mut fp_base = 0usize;
     let mut fp_real = 0usize;
     let mut total = 0usize;
-    let present: std::collections::HashSet<&[u8]> =
-        loaded.iter().map(|k| k.as_slice()).collect();
+    let present: std::collections::HashSet<&[u8]> = loaded.iter().map(|k| k.as_slice()).collect();
     for q in negatives {
         if present.contains(q.as_slice()) {
             continue;

@@ -2,7 +2,7 @@
 //! and Prefix B+tree, uncompressed vs the six HOPE configurations, on all
 //! three datasets.
 //!
-//! Usage: `cargo run --release -p hope-bench --bin fig12_tree_point
+//! Usage: `cargo run --release -p hope_bench --bin fig12_tree_point
 //!         [-- --keys N --queries N --quick]`
 
 use hope_bench::{

@@ -6,7 +6,7 @@
 //! amount of time"), the ALM schemes skip the 100% fraction unless
 //! `--full` is passed.
 //!
-//! Usage: `cargo run --release -p hope-bench --bin fig13_sample_size
+//! Usage: `cargo run --release -p hope_bench --bin fig13_sample_size
 //!         [-- --keys N --quick --full]`
 
 use hope::stats;
@@ -19,10 +19,7 @@ fn main() {
     let fractions: &[f64] = &[0.001, 0.01, 0.1, 1.0, 10.0, 100.0];
 
     println!("# Figure 13: CPR vs sample size (dict limit 64K)");
-    println!(
-        "{:6} {:14} {:>10} {:>9} {:>8}",
-        "data", "scheme", "sample_%", "samples", "CPR"
-    );
+    println!("{:6} {:14} {:>10} {:>9} {:>8}", "data", "scheme", "sample_%", "samples", "CPR");
 
     for dataset in Dataset::ALL {
         let keys = load_dataset(dataset, &cfg);

@@ -6,7 +6,7 @@
 //! prefix alignment, §4.2); they are reported at batch size 1 only.
 //! `--sweep` adds the intermediate batch sizes.
 //!
-//! Usage: `cargo run --release -p hope-bench --bin fig14_batch_encode`
+//! Usage: `cargo run --release -p hope_bench --bin fig14_batch_encode`
 
 use hope::Scheme;
 use hope_bench::{build_hope, load_dataset, ns_per_op, time, BenchConfig};
@@ -22,11 +22,8 @@ fn main() {
     let refs: Vec<&[u8]> = corpus.iter().map(|k| k.as_slice()).collect();
     let chars: usize = corpus.iter().map(|k| k.len()).sum();
 
-    let batch_sizes: Vec<usize> = if cfg.has_flag("--sweep") {
-        vec![1, 2, 4, 8, 16, 32, 64]
-    } else {
-        vec![1, 2, 32]
-    };
+    let batch_sizes: Vec<usize> =
+        if cfg.has_flag("--sweep") { vec![1, 2, 4, 8, 16, 32, 64] } else { vec![1, 2, 32] };
 
     println!("# Figure 14: batch encoding latency on sorted email sample ({} keys)", corpus.len());
     println!("{:14} {:>6} {:>12}", "scheme", "batch", "ns_per_char");

@@ -4,7 +4,7 @@
 //! samples and is then measured on both subsets: matched cases simulate a
 //! stable distribution, crossed cases a dramatic shift.
 //!
-//! Usage: `cargo run --release -p hope-bench --bin fig15_distribution_shift`
+//! Usage: `cargo run --release -p hope_bench --bin fig15_distribution_shift`
 
 use hope::stats;
 use hope::Scheme;
@@ -14,7 +14,11 @@ use hope_workloads::{generate_email_split, sample_keys};
 fn main() {
     let cfg = BenchConfig::from_args();
     let (email_a, email_b) = generate_email_split(cfg.keys, cfg.seed);
-    eprintln!("# Email-A (gmail/yahoo): {} keys, Email-B (rest): {} keys", email_a.len(), email_b.len());
+    eprintln!(
+        "# Email-A (gmail/yahoo): {} keys, Email-B (rest): {} keys",
+        email_a.len(),
+        email_b.len()
+    );
     let pct = |n: usize| ((5_000.0 / n as f64) * 100.0).clamp(1.0, 100.0);
     let sample_a = sample_keys(&email_a, pct(email_a.len()), cfg.seed ^ 0xA);
     let sample_b = sample_keys(&email_b, pct(email_b.len()), cfg.seed ^ 0xB);
@@ -32,14 +36,7 @@ fn main() {
         let bb = stats::measure(&dict_b, &email_b).cpr();
         let ab = stats::measure(&dict_a, &email_b).cpr();
         let ba = stats::measure(&dict_b, &email_a).cpr();
-        println!(
-            "{:14} {:>14.2} {:>14.2} {:>14.2} {:>14.2}",
-            scheme.name(),
-            aa,
-            bb,
-            ab,
-            ba
-        );
+        println!("{:14} {:>14.2} {:>14.2} {:>14.2} {:>14.2}", scheme.name(), aa, bb, ab, ba);
     }
     println!("# expectation: crossed columns lower than matched; Single-Char least affected");
 }

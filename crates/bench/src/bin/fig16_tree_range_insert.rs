@@ -2,7 +2,7 @@
 //! HOT, B+tree and Prefix B+tree, uncompressed vs the six HOPE
 //! configurations, on all three datasets.
 //!
-//! Usage: `cargo run --release -p hope-bench --bin fig16_tree_range_insert
+//! Usage: `cargo run --release -p hope_bench --bin fig16_tree_range_insert
 //!         [-- --keys N --queries N --quick]`
 
 use hope_bench::{

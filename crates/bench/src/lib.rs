@@ -1,4 +1,4 @@
-//! # hope-bench — the benchmark harness for every table and figure
+//! # hope_bench — the benchmark harness for every table and figure
 //!
 //! One binary per paper table/figure (see DESIGN.md for the full index):
 //!
@@ -15,7 +15,7 @@
 //! | `fig16_tree_range_insert` | Fig 16 / Appendix D (range + insert, 4 trees) |
 //!
 //! Every binary accepts `--keys N`, `--queries N`, `--seed N` and
-//! `--quick`; run with `cargo run --release -p hope-bench --bin <name>`.
+//! `--quick`; run with `cargo run --release -p hope_bench --bin <name>`.
 
 #![warn(missing_docs)]
 
@@ -142,10 +142,7 @@ pub fn mb(bytes: usize) -> f64 {
 pub fn load_dataset(dataset: Dataset, cfg: &BenchConfig) -> Vec<Vec<u8>> {
     let (keys, d) = time(|| generate(dataset, cfg.keys, cfg.seed));
     let avg: f64 = keys.iter().map(|k| k.len()).sum::<usize>() as f64 / keys.len() as f64;
-    eprintln!(
-        "# dataset {dataset}: {} keys, avg len {avg:.1} B, generated in {d:?}",
-        keys.len()
-    );
+    eprintln!("# dataset {dataset}: {} keys, avg len {avg:.1} B, generated in {d:?}", keys.len());
     keys
 }
 
@@ -280,7 +277,11 @@ impl PreparedKeys {
     /// Allocation-free query encoding: returns the encoded bytes from the
     /// scratch buffer, or the key itself when uncompressed.
     #[inline]
-    pub fn encode_query_scratch<'a>(&self, key: &'a [u8], scratch: &'a mut QueryScratch) -> &'a [u8] {
+    pub fn encode_query_scratch<'a>(
+        &self,
+        key: &'a [u8],
+        scratch: &'a mut QueryScratch,
+    ) -> &'a [u8] {
         match &self.hope {
             Some(h) => {
                 h.encoder().encode_into(key, &mut scratch.writer);

@@ -207,7 +207,8 @@ impl BPlusTree {
     }
 
     fn with_modes(prefix_truncation: bool, suffix_truncation: bool) -> Self {
-        let leaf = Node::Leaf(LeafNode { keys: KeyList::default(), values: Vec::new(), next: NO_NODE });
+        let leaf =
+            Node::Leaf(LeafNode { keys: KeyList::default(), values: Vec::new(), next: NO_NODE });
         BPlusTree { nodes: vec![leaf], root: 0, len: 0, prefix_truncation, suffix_truncation }
     }
 
@@ -284,7 +285,12 @@ impl BPlusTree {
     }
 
     /// Returns (optional split (separator, new right node), old value).
-    fn insert_rec(&mut self, at: u32, key: &[u8], value: u64) -> (Option<(Vec<u8>, u32)>, Option<u64>) {
+    fn insert_rec(
+        &mut self,
+        at: u32,
+        key: &[u8],
+        value: u64,
+    ) -> (Option<(Vec<u8>, u32)>, Option<u64>) {
         let (sep_right, old) = match &mut self.nodes[at as usize] {
             Node::Leaf(leaf) => {
                 let i = leaf.keys.lower_bound(key);
@@ -310,8 +316,7 @@ impl BPlusTree {
                 };
                 let rk = leaf.keys.split_off(mid, truncate);
                 let rv = leaf.values.split_off(mid);
-                let new_leaf =
-                    Node::Leaf(LeafNode { keys: rk, values: rv, next: leaf.next });
+                let new_leaf = Node::Leaf(LeafNode { keys: rk, values: rv, next: leaf.next });
                 if truncate {
                     leaf.keys.retighten();
                 }
@@ -495,12 +500,8 @@ mod tests {
 
     #[test]
     fn shortest_separator_properties() {
-        let cases: [(&[u8], &[u8]); 4] = [
-            (b"abcdef", b"abd"),
-            (b"a", b"b"),
-            (b"abc", b"abcd"),
-            (b"", b"x"),
-        ];
+        let cases: [(&[u8], &[u8]); 4] =
+            [(b"abcdef", b"abd"), (b"a", b"b"), (b"abc", b"abcd"), (b"", b"x")];
         for (l, r) in cases {
             let s = shortest_separator(l, r);
             assert!(l < s.as_slice(), "{l:?} {r:?} -> {s:?}");

@@ -222,10 +222,7 @@ impl IntervalSet {
 
     /// Iterate over `(boundary, symbol_len)` pairs.
     pub fn iter(&self) -> impl Iterator<Item = (&[u8], usize)> + '_ {
-        self.boundaries
-            .iter()
-            .zip(&self.symbol_lens)
-            .map(|(b, &l)| (b.as_ref(), l as usize))
+        self.boundaries.iter().zip(&self.symbol_lens).map(|(b, &l)| (b.as_ref(), l as usize))
     }
 
     /// Check all structural invariants; returns a description of the first
@@ -265,9 +262,7 @@ impl IntervalSet {
                 } else {
                     // The last interval extends to the axis end; only an
                     // all-0xff symbol (next_prefix == None) can cover it.
-                    return Err(format!(
-                        "last interval symbol {sym:?} cannot cover the axis tail"
-                    ));
+                    return Err(format!("last interval symbol {sym:?} cannot cover the axis tail"));
                 }
             }
         }
@@ -412,10 +407,7 @@ mod tests {
         ] {
             let i = set.floor_index(probe);
             let sym = set.symbol(i);
-            assert!(
-                probe.starts_with(sym),
-                "probe {probe:?} in interval {i} with symbol {sym:?}"
-            );
+            assert!(probe.starts_with(sym), "probe {probe:?} in interval {i} with symbol {sym:?}");
         }
     }
 

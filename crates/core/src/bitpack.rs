@@ -63,10 +63,7 @@ impl Code {
 
     /// Render as a 0/1 string (testing and debugging aid).
     pub fn to_bit_string(&self) -> String {
-        (0..self.len)
-            .rev()
-            .map(|i| if (self.bits >> i) & 1 == 1 { '1' } else { '0' })
-            .collect()
+        (0..self.len).rev().map(|i| if (self.bits >> i) & 1 == 1 { '1' } else { '0' }).collect()
     }
 }
 
@@ -130,9 +127,7 @@ impl PartialOrd for EncodedKey {
 
 impl Ord for EncodedKey {
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        self.bytes
-            .cmp(&other.bytes)
-            .then(self.bit_len.cmp(&other.bit_len))
+        self.bytes.cmp(&other.bytes).then(self.bit_len.cmp(&other.bit_len))
     }
 }
 
@@ -157,10 +152,7 @@ impl BitWriter {
 
     /// New writer with room for `cap_bytes` of output.
     pub fn with_capacity(cap_bytes: usize) -> Self {
-        BitWriter {
-            out: Vec::with_capacity(cap_bytes),
-            ..Self::default()
-        }
+        BitWriter { out: Vec::with_capacity(cap_bytes), ..Self::default() }
     }
 
     /// Discard everything written so far, retaining the allocation.

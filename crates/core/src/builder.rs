@@ -196,9 +196,7 @@ mod tests {
     use super::*;
 
     fn sample() -> Vec<Vec<u8>> {
-        (0..200)
-            .map(|i| format!("com.gmail@user{i:04}").into_bytes())
-            .collect()
+        (0..200).map(|i| format!("com.gmail@user{i:04}").into_bytes()).collect()
     }
 
     #[test]
@@ -218,9 +216,8 @@ mod tests {
 
     #[test]
     fn fixed_schemes_build_from_empty_sample() {
-        let hope = HopeBuilder::new(Scheme::SingleChar)
-            .build_from_sample(Vec::<Vec<u8>>::new())
-            .unwrap();
+        let hope =
+            HopeBuilder::new(Scheme::SingleChar).build_from_sample(Vec::<Vec<u8>>::new()).unwrap();
         assert_eq!(hope.dict_entries(), 256);
     }
 

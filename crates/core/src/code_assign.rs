@@ -33,9 +33,9 @@ impl CodeAssigner {
 /// prefix of its successor (with monotonicity this implies global
 /// prefix-freedom). Used by tests and debug assertions.
 pub fn codes_are_order_preserving(codes: &[Code]) -> bool {
-    codes.windows(2).all(|w| {
-        w[0].cmp_bitstring(&w[1]) == std::cmp::Ordering::Less && !w[0].is_prefix_of(&w[1])
-    })
+    codes
+        .windows(2)
+        .all(|w| w[0].cmp_bitstring(&w[1]) == std::cmp::Ordering::Less && !w[0].is_prefix_of(&w[1]))
 }
 
 /// Range-Encoding code assignment — the alternative §4.2 mentions and
@@ -86,11 +86,7 @@ pub fn expected_code_length(weights: &[u64], codes: &[Code]) -> f64 {
     if total == 0 {
         return 0.0;
     }
-    let bits: u128 = weights
-        .iter()
-        .zip(codes)
-        .map(|(&w, c)| w as u128 * c.len as u128)
-        .sum();
+    let bits: u128 = weights.iter().zip(codes).map(|(&w, c)| w as u128 * c.len as u128).sum();
     bits as f64 / total as f64
 }
 
@@ -136,10 +132,7 @@ mod tests {
             let ht = CodeAssigner::HuTucker.assign(&w);
             let e_re = expected_code_length(&w, &re);
             let e_ht = expected_code_length(&w, &ht);
-            assert!(
-                e_ht <= e_re + 1e-9,
-                "weights {w:?}: Hu-Tucker {e_ht:.3} vs Range {e_re:.3}"
-            );
+            assert!(e_ht <= e_re + 1e-9, "weights {w:?}: Hu-Tucker {e_ht:.3} vs Range {e_re:.3}");
         }
     }
 

@@ -92,8 +92,11 @@ mod tests {
     fn roundtrip_scheme(scheme: Scheme, sample: &[Vec<u8>], keys: &[Vec<u8>]) {
         let set = selector::select_intervals(scheme, sample, 512);
         let weights = selector::access_weights(&set, sample);
-        let assigner =
-            if scheme.uses_hu_tucker() { CodeAssigner::HuTucker } else { CodeAssigner::FixedLength };
+        let assigner = if scheme.uses_hu_tucker() {
+            CodeAssigner::HuTucker
+        } else {
+            CodeAssigner::FixedLength
+        };
         let codes = assigner.assign(&weights);
         let symbols: Vec<Box<[u8]>> = (0..set.len()).map(|i| set.symbol(i).into()).collect();
         let dict = Dict::build(scheme, &set, &codes);
@@ -116,13 +119,11 @@ mod tests {
     #[test]
     fn lossless_roundtrip_all_schemes() {
         let s = sample();
-        let keys: Vec<Vec<u8>> = [
-            "info", "informant", "unseen-key", "c", "", "\u{0}\u{0}",
-            "zzzz", "informationally",
-        ]
-        .iter()
-        .map(|s| s.as_bytes().to_vec())
-        .collect();
+        let keys: Vec<Vec<u8>> =
+            ["info", "informant", "unseen-key", "c", "", "\u{0}\u{0}", "zzzz", "informationally"]
+                .iter()
+                .map(|s| s.as_bytes().to_vec())
+                .collect();
         for scheme in Scheme::ALL {
             roundtrip_scheme(scheme, &s, &keys);
         }

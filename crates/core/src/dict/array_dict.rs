@@ -42,7 +42,6 @@ impl CodeArray {
             CodeArray::Wide { bits, len } => bits.len() * 8 + len.len(),
         }
     }
-
 }
 
 /// 256-entry array dictionary for Single-Char: the lookup is a single

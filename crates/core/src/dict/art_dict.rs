@@ -78,14 +78,12 @@ impl Children {
     #[inline]
     fn get(&self, label: u8) -> Option<u32> {
         match self {
-            Children::N4 { count, labels, ptrs } => labels[..*count as usize]
-                .iter()
-                .position(|&l| l == label)
-                .map(|i| ptrs[i]),
-            Children::N16 { count, labels, ptrs } => labels[..*count as usize]
-                .iter()
-                .position(|&l| l == label)
-                .map(|i| ptrs[i]),
+            Children::N4 { count, labels, ptrs } => {
+                labels[..*count as usize].iter().position(|&l| l == label).map(|i| ptrs[i])
+            }
+            Children::N16 { count, labels, ptrs } => {
+                labels[..*count as usize].iter().position(|&l| l == label).map(|i| ptrs[i])
+            }
             Children::N48 { index, ptrs } => {
                 let slot = index[label as usize];
                 (slot != NO_SLOT).then(|| ptrs[slot as usize])
@@ -111,10 +109,9 @@ impl Children {
                 .rev()
                 .find(|&l| index[l as usize] != NO_SLOT)
                 .map(|l| ptrs[index[l as usize] as usize]),
-            Children::N256 { ptrs } => (0..label)
-                .rev()
-                .map(|l| ptrs[l as usize])
-                .find(|&p| p != NO_CHILD),
+            Children::N256 { ptrs } => {
+                (0..label).rev().map(|l| ptrs[l as usize]).find(|&p| p != NO_CHILD)
+            }
         }
     }
 
@@ -328,8 +325,16 @@ mod tests {
         // filling between "sion" and "tion", not as a selected pattern).
         let (art, base) = build_pair(&[b"sion", b"tion"]);
         for probe in [
-            b"sionx".as_slice(), b"sio", b"tiona", b"tz", b"s", b"sz",
-            b"a", b"zzzz", b"\x00\x00", b"\xff",
+            b"sionx".as_slice(),
+            b"sio",
+            b"tiona",
+            b"tz",
+            b"s",
+            b"sz",
+            b"a",
+            b"zzzz",
+            b"\x00\x00",
+            b"\xff",
         ] {
             assert_eq!(art.lookup(probe), base.lookup(probe), "probe {probe:?}");
         }

@@ -256,8 +256,15 @@ mod tests {
     fn basic_three_gram_lookups() {
         let (trie, base) = build_pair(&[b"ing", b"ion"]);
         for probe in [
-            b"ingest".as_slice(), b"inz", b"ion", b"io", b"i", b"a",
-            b"zzz", b"\x00", b"\xff\xff\xff\xff",
+            b"ingest".as_slice(),
+            b"inz",
+            b"ion",
+            b"io",
+            b"i",
+            b"a",
+            b"zzz",
+            b"\x00",
+            b"\xff\xff\xff\xff",
         ] {
             assert_eq!(trie.lookup(probe), base.lookup(probe), "probe {probe:?}");
         }

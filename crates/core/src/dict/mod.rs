@@ -143,8 +143,16 @@ mod tests {
 
     fn words() -> Vec<Vec<u8>> {
         [
-            "singing", "ringing", "kingdom", "sting", "ingest", "winging",
-            "com.gmail@a", "com.gmail@b", "com.yahoo@c", "org.acm@d",
+            "singing",
+            "ringing",
+            "kingdom",
+            "sting",
+            "ingest",
+            "winging",
+            "com.gmail@a",
+            "com.gmail@b",
+            "com.yahoo@c",
+            "org.acm@d",
         ]
         .iter()
         .map(|s| s.as_bytes().to_vec())
@@ -155,8 +163,20 @@ mod tests {
     fn all_dicts_match_baseline_on_fixed_probes() {
         let sample = words();
         let probes: Vec<Vec<u8>> = [
-            "a", "ing", "inging", "com.gmail@zzz", "zzz", "\u{0}", "q",
-            "com", "con", "cz", "i", "in", "kingdoms", "\u{7f}\u{7f}",
+            "a",
+            "ing",
+            "inging",
+            "com.gmail@zzz",
+            "zzz",
+            "\u{0}",
+            "q",
+            "com",
+            "con",
+            "cz",
+            "i",
+            "in",
+            "kingdoms",
+            "\u{7f}\u{7f}",
         ]
         .iter()
         .map(|s| s.as_bytes().to_vec())

@@ -37,10 +37,7 @@ impl DictLookup for SortedDict {
         let idx = self.boundaries.partition_point(|b| b.as_ref() <= src);
         debug_assert!(idx > 0, "source below the first boundary");
         let i = idx - 1;
-        (
-            Code { bits: self.code_bits[i], len: self.code_len[i] },
-            self.sym_len[i] as usize,
-        )
+        (Code { bits: self.code_bits[i], len: self.code_len[i] }, self.sym_len[i] as usize)
     }
 
     fn memory_bytes(&self) -> usize {

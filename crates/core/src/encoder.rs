@@ -106,11 +106,7 @@ impl Encoder {
             // A checkpoint at byte p is valid if every lookup before it saw
             // identical bytes: boundaries are at most `gram` bytes, so
             // p + gram <= shared suffices (see DESIGN.md).
-            let ck = checkpoints
-                .iter()
-                .take_while(|&&(p, _)| p + gram <= shared)
-                .last()
-                .copied();
+            let ck = checkpoints.iter().take_while(|&&(p, _)| p + gram <= shared).last().copied();
             match ck {
                 Some((bytes, bits)) => {
                     let mut w = BitWriter::with_capacity(key.len());
@@ -172,8 +168,12 @@ mod tests {
 
     fn sample() -> Vec<Vec<u8>> {
         [
-            "com.gmail@alice", "com.gmail@bob", "com.gmail@carol",
-            "com.yahoo@dave", "org.acm@erin", "net.github@frank",
+            "com.gmail@alice",
+            "com.gmail@bob",
+            "com.gmail@carol",
+            "com.yahoo@dave",
+            "org.acm@erin",
+            "net.github@frank",
         ]
         .iter()
         .map(|s| s.as_bytes().to_vec())
@@ -225,8 +225,12 @@ mod tests {
         for scheme in Scheme::ALL {
             let enc = build_encoder(scheme, &s);
             let mut keys: Vec<&[u8]> = vec![
-                b"com.gmail@aaa", b"com.gmail@aab", b"com.gmail@zzz",
-                b"com.yahoo@x", b"org.acm@y", b"zebra",
+                b"com.gmail@aaa",
+                b"com.gmail@aab",
+                b"com.gmail@zzz",
+                b"com.yahoo@x",
+                b"org.acm@y",
+                b"zebra",
             ];
             keys.sort();
             for bs in [1usize, 2, 3, 32] {

@@ -46,11 +46,7 @@ pub fn hu_tucker_codes(weights: &[u64]) -> Vec<Code> {
 /// paper's fixed-length Code Assigner (used by the ALM/VIFC scheme).
 pub fn fixed_len_codes(n: usize) -> Vec<Code> {
     assert!(n > 0);
-    let len = if n == 1 {
-        1
-    } else {
-        (usize::BITS - (n - 1).leading_zeros()).max(1)
-    };
+    let len = if n == 1 { 1 } else { (usize::BITS - (n - 1).leading_zeros()).max(1) };
     assert!(len <= MAX_CODE_LEN);
     (0..n as u64).map(|i| Code::new(i, len as u8)).collect()
 }
@@ -62,11 +58,7 @@ pub fn weighted_depth(weights: &[u64], depths: &[u32]) -> f64 {
     if total == 0 {
         return 0.0;
     }
-    let cost: u128 = weights
-        .iter()
-        .zip(depths)
-        .map(|(&w, &d)| w as u128 * d as u128)
-        .sum();
+    let cost: u128 = weights.iter().zip(depths).map(|(&w, &d)| w as u128 * d as u128).sum();
     cost as f64 / total as f64
 }
 
@@ -127,10 +119,8 @@ fn garsia_wachs_depths(weights: &[u64]) -> Vec<u32> {
     debug_assert!(n >= 2);
 
     // Arena of merge-tree nodes; the first n are the leaves in order.
-    let mut arena: Vec<GwNode> = weights
-        .iter()
-        .map(|&w| GwNode { weight: w, left: NIL, right: NIL })
-        .collect();
+    let mut arena: Vec<GwNode> =
+        weights.iter().map(|&w| GwNode { weight: w, left: NIL, right: NIL }).collect();
     arena.reserve(n - 1);
 
     // Doubly-linked working sequence over arena ids, with sentinel slots.
@@ -267,11 +257,7 @@ mod tests {
     use proptest::prelude::*;
 
     fn cost_of_depths(weights: &[u64], depths: &[u32]) -> u128 {
-        weights
-            .iter()
-            .zip(depths)
-            .map(|(&w, &d)| w as u128 * d as u128)
-            .sum()
+        weights.iter().zip(depths).map(|(&w, &d)| w as u128 * d as u128).sum()
     }
 
     fn assert_valid_alphabetic_code(codes: &[Code]) {

@@ -86,10 +86,7 @@ impl AlmSelector {
 
         // Binary-search the threshold W over the distinct len*freq products
         // so that the resulting interval count lands at or under the target.
-        let mut products: Vec<u64> = blended
-            .iter()
-            .map(|(p, c)| p.len() as u64 * c)
-            .collect();
+        let mut products: Vec<u64> = blended.iter().map(|(p, c)| p.len() as u64 * c).collect();
         products.sort_unstable();
         products.dedup();
 
@@ -105,9 +102,9 @@ impl AlmSelector {
             IntervalSet::from_patterns(&pats)
         };
 
+        // Find the smallest W (largest dictionary) with len <= target.
         let mut lo = 0usize; // index into products (descending W by index!)
         let mut hi = products.len(); // products[lo..] are candidate thresholds
-        // Find the smallest W (largest dictionary) with len <= target.
         let mut best = build(*products.last().unwrap());
         while lo < hi {
             let mid = (lo + hi) / 2;
@@ -164,12 +161,7 @@ pub fn blend(counts: HashMap<Vec<u8>, u64>) -> Vec<(Vec<u8>, u64)> {
             removed[i] = true;
         }
     }
-    entries
-        .into_iter()
-        .zip(removed)
-        .filter(|(_, r)| !r)
-        .map(|(e, _)| e)
-        .collect()
+    entries.into_iter().zip(removed).filter(|(_, r)| !r).map(|(e, _)| e).collect()
 }
 
 /// Remove any pattern that is a prefix of a later (sorted) pattern, keeping
@@ -193,9 +185,14 @@ mod tests {
 
     fn sample() -> Vec<Vec<u8>> {
         [
-            "com.gmail@anna", "com.gmail@bob", "com.gmail@chris",
-            "com.yahoo@dora", "com.yahoo@emma", "org.acm@frank",
-            "org.acm@grace", "net.slashdot@hugo",
+            "com.gmail@anna",
+            "com.gmail@bob",
+            "com.gmail@chris",
+            "com.yahoo@dora",
+            "com.yahoo@emma",
+            "org.acm@frank",
+            "org.acm@grace",
+            "net.slashdot@hugo",
         ]
         .iter()
         .map(|s| s.as_bytes().to_vec())

@@ -87,11 +87,7 @@ mod tests {
             b"a\x00",
             b"a\xff",
         ] {
-            assert_eq!(
-                double_char_slot(probe),
-                set.floor_index(probe),
-                "probe {probe:?}"
-            );
+            assert_eq!(double_char_slot(probe), set.floor_index(probe), "probe {probe:?}");
         }
     }
 

@@ -169,8 +169,12 @@ mod tests {
     #[test]
     fn every_scheme_selects_valid_intervals() {
         let sample: Vec<Vec<u8>> = [
-            "com.gmail@alice", "com.gmail@bob", "com.yahoo@carol",
-            "org.wikipedia@dave", "net.github@erin", "com.gmail@frank",
+            "com.gmail@alice",
+            "com.gmail@bob",
+            "com.yahoo@carol",
+            "org.wikipedia@dave",
+            "net.github@erin",
+            "com.gmail@frank",
         ]
         .iter()
         .map(|s| s.as_bytes().to_vec())

@@ -57,8 +57,8 @@ mod tests {
 
     fn sample() -> Vec<Vec<u8>> {
         [
-            "singing", "sing", "ringing", "sting", "ingest", "kingdom",
-            "winging", "pinging", "longing",
+            "singing", "sing", "ringing", "sting", "ingest", "kingdom", "winging", "pinging",
+            "longing",
         ]
         .iter()
         .map(|s| s.as_bytes().to_vec())

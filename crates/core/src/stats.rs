@@ -68,9 +68,7 @@ mod tests {
     fn cpr_above_one_on_skewed_keys() {
         let sample: Vec<Vec<u8>> =
             (0..300).map(|i| format!("com.gmail@user{i}").into_bytes()).collect();
-        let hope = HopeBuilder::new(Scheme::DoubleChar)
-            .build_from_sample(sample.clone())
-            .unwrap();
+        let hope = HopeBuilder::new(Scheme::DoubleChar).build_from_sample(sample.clone()).unwrap();
         let stats = measure(&hope, &sample);
         assert!(stats.cpr() > 1.2, "cpr = {}", stats.cpr());
         assert!(stats.cpr_bits() >= stats.cpr());
@@ -79,9 +77,8 @@ mod tests {
 
     #[test]
     fn empty_dataset_yields_zero_stats() {
-        let hope = HopeBuilder::new(Scheme::SingleChar)
-            .build_from_sample(vec![b"a".to_vec()])
-            .unwrap();
+        let hope =
+            HopeBuilder::new(Scheme::SingleChar).build_from_sample(vec![b"a".to_vec()]).unwrap();
         let stats = measure::<Vec<u8>>(&hope, &[]);
         assert_eq!(stats.cpr(), 0.0);
         assert_eq!(stats.latency_ns_per_char(), 0.0);

@@ -101,10 +101,7 @@ impl Hot {
 
     /// Memory of the simulated record heap (full keys + values).
     pub fn record_memory_bytes(&self) -> usize {
-        self.records
-            .iter()
-            .map(|(k, _)| std::mem::size_of::<(Box<[u8]>, u64)>() + k.len())
-            .sum()
+        self.records.iter().map(|(k, _)| std::mem::size_of::<(Box<[u8]>, u64)>() + k.len()).sum()
     }
 
     /// Tree height in levels (1 = a single leaf).
@@ -204,8 +201,7 @@ impl Hot {
                 }
                 Node::Leaf { recs } => {
                     let i = recs.partition_point(|&r| self.rec_key(r) < key);
-                    return (i < recs.len() && self.rec_key(recs[i]) == key)
-                        .then(|| recs[i]);
+                    return (i < recs.len() && self.rec_key(recs[i]) == key).then(|| recs[i]);
                 }
             }
         }
@@ -219,8 +215,8 @@ impl Hot {
             Node::Leaf { .. } => {
                 let Node::Leaf { recs } = &mut self.nodes[at as usize] else { unreachable!() };
                 let recs_snapshot: Vec<u32> = recs.clone();
-                let i = recs_snapshot
-                    .partition_point(|&r| self.records[r as usize].0.as_ref() < key);
+                let i =
+                    recs_snapshot.partition_point(|&r| self.records[r as usize].0.as_ref() < key);
                 let Node::Leaf { recs } = &mut self.nodes[at as usize] else { unreachable!() };
                 recs.insert(i, rec);
                 if recs.len() <= K {
@@ -309,17 +305,21 @@ impl Hot {
         out
     }
 
-    fn scan_rec(&self, at: u32, start: &[u8], bounded: bool, count: usize, out: &mut Vec<u64>) -> bool {
+    fn scan_rec(
+        &self,
+        at: u32,
+        start: &[u8],
+        bounded: bool,
+        count: usize,
+        out: &mut Vec<u64>,
+    ) -> bool {
         if out.len() >= count {
             return false;
         }
         match &self.nodes[at as usize] {
             Node::Leaf { recs } => {
-                let from = if bounded {
-                    recs.partition_point(|&r| self.rec_key(r) < start)
-                } else {
-                    0
-                };
+                let from =
+                    if bounded { recs.partition_point(|&r| self.rec_key(r) < start) } else { 0 };
                 for &r in &recs[from..] {
                     if out.len() >= count {
                         return false;

@@ -235,9 +235,7 @@ impl Surf {
         match self.suffix_kind {
             SuffixKind::None => true,
             SuffixKind::Hash => self.suffixes[leaf] == hash8(key),
-            SuffixKind::Real => {
-                self.suffixes[leaf] == key.get(consumed).copied().unwrap_or(0)
-            }
+            SuffixKind::Real => self.suffixes[leaf] == key.get(consumed).copied().unwrap_or(0),
         }
     }
 

@@ -59,10 +59,7 @@ pub fn generate(dataset: Dataset, n: usize, seed: u64) -> Vec<Vec<u8>> {
         if seen.insert(key.clone()) {
             out.push(key);
         }
-        assert!(
-            tries < n * 20 + 1000,
-            "generator failed to produce {n} distinct keys"
-        );
+        assert!(tries < n * 20 + 1000, "generator failed to produce {n} distinct keys");
     }
     out
 }
@@ -89,29 +86,116 @@ pub fn generate_email_split(n: usize, seed: u64) -> (Vec<Vec<u8>>, Vec<Vec<u8>>)
 
 /// Domains with a realistic heavy head (already host-reversed).
 const EMAIL_HOSTS: &[&str] = &[
-    "com.gmail", "com.yahoo", "com.hotmail", "com.aol", "com.outlook",
-    "com.icloud", "com.mail", "com.gmx", "de.web", "de.gmx", "fr.orange",
-    "fr.wanadoo", "com.comcast", "net.verizon", "com.att", "org.mail",
-    "edu.mit", "edu.cmu", "edu.stanford", "com.protonmail", "com.zoho",
-    "co.uk.btinternet", "com.rediffmail", "net.earthlink", "com.qq",
-    "com.163", "com.126", "com.sina", "jp.co.yahoo", "ru.mail",
-    "ru.yandex", "com.live",
+    "com.gmail",
+    "com.yahoo",
+    "com.hotmail",
+    "com.aol",
+    "com.outlook",
+    "com.icloud",
+    "com.mail",
+    "com.gmx",
+    "de.web",
+    "de.gmx",
+    "fr.orange",
+    "fr.wanadoo",
+    "com.comcast",
+    "net.verizon",
+    "com.att",
+    "org.mail",
+    "edu.mit",
+    "edu.cmu",
+    "edu.stanford",
+    "com.protonmail",
+    "com.zoho",
+    "co.uk.btinternet",
+    "com.rediffmail",
+    "net.earthlink",
+    "com.qq",
+    "com.163",
+    "com.126",
+    "com.sina",
+    "jp.co.yahoo",
+    "ru.mail",
+    "ru.yandex",
+    "com.live",
 ];
 
 const FIRST_NAMES: &[&str] = &[
-    "james", "mary", "john", "patricia", "robert", "jennifer", "michael",
-    "linda", "william", "elizabeth", "david", "barbara", "richard", "susan",
-    "joseph", "jessica", "thomas", "sarah", "charles", "karen", "wei",
-    "ana", "juan", "maria", "mohammed", "fatima", "yuki", "chen", "raj",
-    "priya", "olga", "ivan", "hans", "sofia", "luca", "emma",
+    "james",
+    "mary",
+    "john",
+    "patricia",
+    "robert",
+    "jennifer",
+    "michael",
+    "linda",
+    "william",
+    "elizabeth",
+    "david",
+    "barbara",
+    "richard",
+    "susan",
+    "joseph",
+    "jessica",
+    "thomas",
+    "sarah",
+    "charles",
+    "karen",
+    "wei",
+    "ana",
+    "juan",
+    "maria",
+    "mohammed",
+    "fatima",
+    "yuki",
+    "chen",
+    "raj",
+    "priya",
+    "olga",
+    "ivan",
+    "hans",
+    "sofia",
+    "luca",
+    "emma",
 ];
 
 const SURNAMES: &[&str] = &[
-    "smith", "johnson", "williams", "brown", "jones", "garcia", "miller",
-    "davis", "rodriguez", "martinez", "wilson", "anderson", "taylor",
-    "thomas", "moore", "lee", "perez", "white", "harris", "clark", "wang",
-    "li", "zhang", "kumar", "singh", "sato", "tanaka", "ivanov", "muller",
-    "rossi", "silva", "kim", "park", "nguyen", "tran", "cohen",
+    "smith",
+    "johnson",
+    "williams",
+    "brown",
+    "jones",
+    "garcia",
+    "miller",
+    "davis",
+    "rodriguez",
+    "martinez",
+    "wilson",
+    "anderson",
+    "taylor",
+    "thomas",
+    "moore",
+    "lee",
+    "perez",
+    "white",
+    "harris",
+    "clark",
+    "wang",
+    "li",
+    "zhang",
+    "kumar",
+    "singh",
+    "sato",
+    "tanaka",
+    "ivanov",
+    "muller",
+    "rossi",
+    "silva",
+    "kim",
+    "park",
+    "nguyen",
+    "tran",
+    "cohen",
 ];
 
 fn email_key(state: &mut u64) -> Vec<u8> {
@@ -147,14 +231,60 @@ fn email_key(state: &mut u64) -> Vec<u8> {
 // ---------------------------------------------------------------------------
 
 const WIKI_WORDS: &[&str] = &[
-    "History", "List", "of", "the", "United", "States", "County",
-    "Championship", "Station", "Railway", "River", "University", "School",
-    "District", "National", "Park", "Church", "House", "Album", "Song",
-    "Film", "Season", "Football", "Club", "Battle", "World", "War",
-    "Museum", "Island", "Lake", "Mountain", "North", "South", "East",
-    "West", "New", "Grand", "Saint", "Fort", "Old", "Royal", "City",
-    "Village", "Township", "Airport", "Bridge", "Castle", "Cathedral",
-    "Elections", "Census", "Division", "Department", "Province", "Region",
+    "History",
+    "List",
+    "of",
+    "the",
+    "United",
+    "States",
+    "County",
+    "Championship",
+    "Station",
+    "Railway",
+    "River",
+    "University",
+    "School",
+    "District",
+    "National",
+    "Park",
+    "Church",
+    "House",
+    "Album",
+    "Song",
+    "Film",
+    "Season",
+    "Football",
+    "Club",
+    "Battle",
+    "World",
+    "War",
+    "Museum",
+    "Island",
+    "Lake",
+    "Mountain",
+    "North",
+    "South",
+    "East",
+    "West",
+    "New",
+    "Grand",
+    "Saint",
+    "Fort",
+    "Old",
+    "Royal",
+    "City",
+    "Village",
+    "Township",
+    "Airport",
+    "Bridge",
+    "Castle",
+    "Cathedral",
+    "Elections",
+    "Census",
+    "Division",
+    "Department",
+    "Province",
+    "Region",
 ];
 
 fn wiki_key(state: &mut u64) -> Vec<u8> {
@@ -184,19 +314,54 @@ fn wiki_key(state: &mut u64) -> Vec<u8> {
 // ---------------------------------------------------------------------------
 
 const URL_SITES: &[&str] = &[
-    "www.bbc.co.uk", "news.bbc.co.uk", "www.parliament.uk", "www.guardian.co.uk",
-    "www.dailymail.co.uk", "www.cambridge.ac.uk", "www.ox.ac.uk",
-    "www.amazon.co.uk", "www.nationaltrust.org.uk", "www.gov.uk",
-    "www.visitbritain.com", "www.timesonline.co.uk", "www.channel4.com",
-    "www.manutd.com", "www.rightmove.co.uk",
+    "www.bbc.co.uk",
+    "news.bbc.co.uk",
+    "www.parliament.uk",
+    "www.guardian.co.uk",
+    "www.dailymail.co.uk",
+    "www.cambridge.ac.uk",
+    "www.ox.ac.uk",
+    "www.amazon.co.uk",
+    "www.nationaltrust.org.uk",
+    "www.gov.uk",
+    "www.visitbritain.com",
+    "www.timesonline.co.uk",
+    "www.channel4.com",
+    "www.manutd.com",
+    "www.rightmove.co.uk",
 ];
 
 const URL_SEGMENTS: &[&str] = &[
-    "news", "sport", "articles", "archive", "category", "products",
-    "research", "politics", "business", "entertainment", "technology",
-    "education", "health", "science", "travel", "images", "media",
-    "documents", "reports", "2006", "2007", "uk", "world", "england",
-    "football", "cricket", "story", "comment", "profile", "static",
+    "news",
+    "sport",
+    "articles",
+    "archive",
+    "category",
+    "products",
+    "research",
+    "politics",
+    "business",
+    "entertainment",
+    "technology",
+    "education",
+    "health",
+    "science",
+    "travel",
+    "images",
+    "media",
+    "documents",
+    "reports",
+    "2006",
+    "2007",
+    "uk",
+    "world",
+    "england",
+    "football",
+    "cricket",
+    "story",
+    "comment",
+    "profile",
+    "static",
 ];
 
 fn url_key(state: &mut u64) -> Vec<u8> {
@@ -213,7 +378,11 @@ fn url_key(state: &mut u64) -> Vec<u8> {
     match splitmix64(state) % 3 {
         0 => url.push_str(&format!("article{:08}.html", splitmix64(state) % 100_000_000)),
         1 => url.push_str(&format!("item-{:010}", splitmix64(state) % 10_000_000_000)),
-        _ => url.push_str(&format!("{:07}/index.html?page={}", splitmix64(state) % 10_000_000, splitmix64(state) % 50)),
+        _ => url.push_str(&format!(
+            "{:07}/index.html?page={}",
+            splitmix64(state) % 10_000_000,
+            splitmix64(state) % 50
+        )),
     }
     url.into_bytes()
 }
@@ -264,10 +433,15 @@ mod tests {
             let s = std::str::from_utf8(k).unwrap();
             assert!(s.contains('@'), "{s}");
             assert!(
-                s.starts_with("com.") || s.starts_with("de.") || s.starts_with("fr.")
-                    || s.starts_with("net.") || s.starts_with("org.")
-                    || s.starts_with("edu.") || s.starts_with("co.")
-                    || s.starts_with("jp.") || s.starts_with("ru."),
+                s.starts_with("com.")
+                    || s.starts_with("de.")
+                    || s.starts_with("fr.")
+                    || s.starts_with("net.")
+                    || s.starts_with("org.")
+                    || s.starts_with("edu.")
+                    || s.starts_with("co.")
+                    || s.starts_with("jp.")
+                    || s.starts_with("ru."),
                 "not host-reversed: {s}"
             );
         }

@@ -14,10 +14,7 @@ fn main() {
     let keys = generate(Dataset::Email, n, 7);
     let sample = sample_keys(&keys, 5.0, 1);
     println!("indexing {n} email keys\n");
-    println!(
-        "{:22} {:>10} {:>12} {:>12}",
-        "configuration", "mem_MB", "point_us", "range_us"
-    );
+    println!("{:22} {:>10} {:>12} {:>12}", "configuration", "mem_MB", "point_us", "range_us");
 
     run("B+tree / raw keys", None, &keys);
     for scheme in [Scheme::SingleChar, Scheme::DoubleChar, Scheme::ThreeGrams] {
@@ -62,11 +59,5 @@ fn run(label: &str, hope: Option<hope::Hope>, keys: &[Vec<u8>]) {
     let range_us = t.elapsed().as_secs_f64() * 1e6 / starts.len() as f64;
 
     let mem = tree.memory_bytes() + hope.as_ref().map_or(0, |h| h.dict_memory_bytes());
-    println!(
-        "{:22} {:>10.2} {:>12.3} {:>12.3}",
-        label,
-        mem as f64 / 1048576.0,
-        point_us,
-        range_us
-    );
+    println!("{:22} {:>10.2} {:>12.3} {:>12.3}", label, mem as f64 / 1048576.0, point_us, range_us);
 }

@@ -8,9 +8,15 @@ use hope::{HopeBuilder, Scheme};
 fn main() {
     // 1. Sample keys the way a DBMS would at index-creation time.
     let sample: Vec<Vec<u8>> = [
-        "com.gmail@alice", "com.gmail@bob", "com.gmail@carol",
-        "com.yahoo@dave", "com.yahoo@erin", "org.acm@frank",
-        "net.github@grace", "com.gmail@heidi", "com.outlook@ivan",
+        "com.gmail@alice",
+        "com.gmail@bob",
+        "com.gmail@carol",
+        "com.yahoo@dave",
+        "com.yahoo@erin",
+        "org.acm@frank",
+        "net.github@grace",
+        "com.gmail@heidi",
+        "com.outlook@ivan",
     ]
     .iter()
     .map(|s| s.as_bytes().to_vec())
@@ -18,9 +24,8 @@ fn main() {
 
     // 2. Build a Double-Char compressor (the paper's sweet spot between
     //    compression rate and encoding speed).
-    let hope = HopeBuilder::new(Scheme::DoubleChar)
-        .build_from_sample(sample.clone())
-        .expect("build");
+    let hope =
+        HopeBuilder::new(Scheme::DoubleChar).build_from_sample(sample.clone()).expect("build");
     println!(
         "built {} with {} dictionary entries ({} KB)",
         hope.scheme(),
@@ -31,18 +36,16 @@ fn main() {
     // 3. Encode keys — including keys never seen in the sample. Any HOPE
     //    dictionary encodes arbitrary keys (completeness, §3.1).
     let keys = [
-        "com.gmail@aaron", "com.gmail@zoe", "com.hotmail@newcomer",
-        "org.acm@turing", "zz.unseen@pattern",
+        "com.gmail@aaron",
+        "com.gmail@zoe",
+        "com.hotmail@newcomer",
+        "org.acm@turing",
+        "zz.unseen@pattern",
     ];
     let mut encoded: Vec<_> = keys.iter().map(|k| hope.encode(k.as_bytes())).collect();
 
     for (k, e) in keys.iter().zip(&encoded) {
-        println!(
-            "{k:24} {:2}B -> {:2}B ({} bits)",
-            k.len(),
-            e.byte_len(),
-            e.bit_len()
-        );
+        println!("{k:24} {:2}B -> {:2}B ({} bits)", k.len(), e.byte_len(), e.bit_len());
     }
 
     // 4. Order is preserved: sorting encodings sorts the original keys.

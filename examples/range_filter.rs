@@ -16,10 +16,7 @@ fn main() {
     let sample = sample_keys(stored, 10.0, 5);
 
     println!("{} URLs stored, probing with {} absent URLs\n", stored.len(), absent.len());
-    println!(
-        "{:26} {:>9} {:>10} {:>10}",
-        "filter", "mem_KB", "FPR_%", "height"
-    );
+    println!("{:26} {:>9} {:>10} {:>10}", "filter", "mem_KB", "FPR_%", "height");
 
     // Raw-key filter.
     report("SuRF-Real8 / raw", None, stored, absent);

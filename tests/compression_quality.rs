@@ -20,11 +20,7 @@ fn every_scheme_compresses_every_dataset() {
         for scheme in Scheme::ALL {
             let hope = build(scheme, &sample, 1 << 14);
             let st = stats::measure(&hope, &keys);
-            assert!(
-                st.cpr() > 1.1,
-                "{dataset}/{scheme}: cpr {:.3} (no compression)",
-                st.cpr()
-            );
+            assert!(st.cpr() > 1.1, "{dataset}/{scheme}: cpr {:.3} (no compression)", st.cpr());
         }
     }
 }

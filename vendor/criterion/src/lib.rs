@@ -1,0 +1,273 @@
+//! Offline stand-in for the [`criterion`](https://crates.io/crates/criterion)
+//! benchmark harness.
+//!
+//! Implements the subset of criterion 0.5's API that the workspace benches
+//! use — `criterion_group!`/`criterion_main!`, [`Criterion`],
+//! [`BenchmarkGroup`], [`BenchmarkId`], [`Throughput`] and
+//! [`Bencher::iter`] — with a simple wall-clock measurement loop instead of
+//! criterion's statistical machinery. Each benchmark runs one warm-up
+//! iteration followed by `sample_size` timed iterations and reports the
+//! mean and minimum time per iteration (plus throughput when configured).
+//!
+//! See `vendor/README.md` for how to swap in the real crate when network
+//! access is available.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Re-export of [`std::hint::black_box`] under criterion's name.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Top-level benchmark driver, a shim for `criterion::Criterion`.
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    /// Set the number of timed iterations per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n > 0, "sample size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { name: name.into(), throughput: None, criterion: self }
+    }
+
+    /// Run a single benchmark outside any group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let samples = self.sample_size;
+        run_one(&id.into().id, None, samples, f);
+        self
+    }
+}
+
+/// A named collection of benchmarks sharing a throughput setting.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    throughput: Option<Throughput>,
+    criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Declare how much work one iteration performs, enabling
+    /// elements/sec or bytes/sec reporting.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Override the sample size for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n > 0, "sample size must be positive");
+        self.criterion.sample_size = n;
+        self
+    }
+
+    /// Time a closure under this group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id.into().id);
+        run_one(&full, self.throughput, self.criterion.sample_size, f);
+        self
+    }
+
+    /// Time a closure that receives an input by reference.
+    pub fn bench_with_input<I, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        I: ?Sized,
+        F: FnMut(&mut Bencher, &I),
+    {
+        let full = format!("{}/{}", self.name, id.into().id);
+        run_one(&full, self.throughput, self.criterion.sample_size, |b| f(b, input));
+        self
+    }
+
+    /// Finish the group (a no-op in the shim; kept for API parity).
+    pub fn finish(self) {}
+}
+
+/// Identifier for one benchmark, a shim for `criterion::BenchmarkId`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// A `function_name/parameter` id.
+    pub fn new(function_name: impl Display, parameter: impl Display) -> Self {
+        BenchmarkId { id: format!("{function_name}/{parameter}") }
+    }
+
+    /// An id that is just the parameter value.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId { id: parameter.to_string() }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { id: s }
+    }
+}
+
+/// Work performed per iteration, for derived throughput reporting.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Iteration processes this many bytes.
+    Bytes(u64),
+    /// Iteration processes this many elements.
+    Elements(u64),
+}
+
+/// Timer handle passed to benchmark closures.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    planned: usize,
+}
+
+impl Bencher {
+    /// Run `f` once for warm-up, then time it `sample_size` times.
+    pub fn iter<T>(&mut self, mut f: impl FnMut() -> T) {
+        std::hint::black_box(f());
+        for _ in 0..self.planned {
+            let t = Instant::now();
+            std::hint::black_box(f());
+            self.samples.push(t.elapsed());
+        }
+    }
+
+    /// Like [`Bencher::iter`], but `setup` output is rebuilt (untimed)
+    /// before every timed call.
+    pub fn iter_batched<I, T>(
+        &mut self,
+        mut setup: impl FnMut() -> I,
+        mut f: impl FnMut(I) -> T,
+        _size: BatchSize,
+    ) {
+        std::hint::black_box(f(setup()));
+        for _ in 0..self.planned {
+            let input = setup();
+            let t = Instant::now();
+            std::hint::black_box(f(input));
+            self.samples.push(t.elapsed());
+        }
+    }
+}
+
+/// Batch sizing hint (ignored by the shim; kept for API parity).
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One input per batch.
+    PerIteration,
+}
+
+fn run_one<F>(name: &str, throughput: Option<Throughput>, samples: usize, mut f: F)
+where
+    F: FnMut(&mut Bencher),
+{
+    let mut b = Bencher { samples: Vec::with_capacity(samples), planned: samples };
+    f(&mut b);
+    if b.samples.is_empty() {
+        println!("{name:<48} (no samples recorded)");
+        return;
+    }
+    let total: Duration = b.samples.iter().sum();
+    let mean = total.as_nanos() as f64 / b.samples.len() as f64;
+    let min = b.samples.iter().min().unwrap().as_nanos() as f64;
+    let rate = match throughput {
+        Some(Throughput::Elements(n)) if mean > 0.0 => {
+            format!("  {:>12.1} Melem/s", n as f64 / mean * 1e3)
+        }
+        Some(Throughput::Bytes(n)) if mean > 0.0 => {
+            format!("  {:>12.1} MiB/s", n as f64 / mean * 1e9 / (1024.0 * 1024.0))
+        }
+        _ => String::new(),
+    };
+    println!("{name:<48} mean {:>12.0} ns  min {:>12.0} ns{rate}", mean, min);
+}
+
+/// Shim for `criterion::criterion_group!`: collects target functions into
+/// one runner function driven by a configured [`Criterion`].
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $cfg;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Shim for `criterion::criterion_main!`: generates `main` running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_records_samples() {
+        let mut c = Criterion::default().sample_size(3);
+        let mut runs = 0usize;
+        c.bench_function("smoke", |b| b.iter(|| runs += 1));
+        // 1 warm-up + 3 timed iterations.
+        assert_eq!(runs, 4);
+    }
+
+    #[test]
+    fn group_runs_each_bench() {
+        let mut c = Criterion::default().sample_size(2);
+        let mut group = c.benchmark_group("g");
+        group.throughput(Throughput::Elements(10));
+        let mut runs = 0usize;
+        group.bench_function(BenchmarkId::from_parameter("x"), |b| b.iter(|| runs += 1));
+        group.finish();
+        assert_eq!(runs, 3);
+    }
+}
