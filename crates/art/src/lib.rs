@@ -484,20 +484,49 @@ impl Art {
 
     /// Range scan: values of up to `count` keys `>= start`, in key order.
     pub fn scan(&self, start: &[u8], count: usize) -> Vec<u64> {
+        self.scan_bounded(start, None, count)
+    }
+
+    /// Bounded range scan: values of up to `limit` keys in `low..=high`
+    /// (inclusive on both ends), in key order.
+    pub fn range(&self, low: &[u8], high: &[u8], limit: usize) -> Vec<u64> {
+        if low > high {
+            return Vec::new();
+        }
+        self.scan_bounded(low, Some(high), limit)
+    }
+
+    fn scan_bounded(&self, start: &[u8], high: Option<&[u8]>, count: usize) -> Vec<u64> {
         let mut out = Vec::with_capacity(count.min(64));
         if let Some(root) = self.root {
-            self.scan_rec(root, 0, start, true, count, &mut out);
+            self.scan_rec(root, 0, start, high, true, count, &mut out);
         }
         out
     }
 
+    /// Push one leaf's value unless it lies above the inclusive upper
+    /// bound; returns false to halt the (in-order) traversal.
+    fn emit(&self, leaf: usize, high: Option<&[u8]>, out: &mut Vec<u64>) -> bool {
+        let l = &self.leaves[leaf];
+        if let Some(h) = high {
+            if l.key.as_ref() > h {
+                return false; // every later key is larger still
+            }
+        }
+        out.push(l.value);
+        true
+    }
+
     /// In-order traversal; `bounded` = the subtree may still contain keys
-    /// below `start` (we are on the boundary path).
+    /// below `start` (we are on the boundary path). `high` is the optional
+    /// inclusive upper bound; the first key above it stops the walk.
+    #[allow(clippy::too_many_arguments)]
     fn scan_rec(
         &self,
         ptr: Ptr,
         depth: usize,
         start: &[u8],
+        high: Option<&[u8]>,
         bounded: bool,
         count: usize,
         out: &mut Vec<u64>,
@@ -506,9 +535,9 @@ impl Art {
             return false;
         }
         if let Some(leaf) = ptr.as_leaf() {
-            let l = &self.leaves[leaf];
-            if !bounded || l.key.as_ref() >= start {
-                out.push(l.value);
+            if (!bounded || self.leaves[leaf].key.as_ref() >= start) && !self.emit(leaf, high, out)
+            {
+                return false;
             }
             return out.len() < count;
         }
@@ -536,27 +565,21 @@ impl Art {
             }
             // else rest == full prefix: term is exactly start — include.
         }
-        if include_term {
-            if let Some(t) = node.term.as_leaf() {
-                out.push(self.leaves[t].value);
-                if out.len() >= count {
-                    return false;
-                }
+        if let Some(t) = node.term.as_leaf() {
+            // On the boundary path the term may still lie below start.
+            let in_range = include_term || self.leaves[t].key.as_ref() >= start;
+            if in_range && !self.emit(t, high, out) {
+                return false;
             }
-        } else if let Some(t) = node.term.as_leaf() {
-            // Boundary path: include the term only if it is >= start.
-            let l = &self.leaves[t];
-            if l.key.as_ref() >= start {
-                out.push(l.value);
-                if out.len() >= count {
-                    return false;
-                }
+            if out.len() >= count {
+                return false;
             }
         }
         let mut keep_going = true;
         node.children.for_each_from(from, |label, child| {
             let child_bounded = boundary_child && (label as u16) == from;
-            keep_going = self.scan_rec(child, depth + pl + 1, start, child_bounded, count, out);
+            keep_going =
+                self.scan_rec(child, depth + pl + 1, start, high, child_bounded, count, out);
             keep_going
         });
         keep_going
@@ -584,6 +607,34 @@ impl Art {
             });
         }
         sum as f64 / self.leaves.len() as f64
+    }
+}
+
+/// ART satisfies the generic ordered-index contract HOPE serving layers
+/// program against.
+impl hope::OrderedIndex for Art {
+    fn get(&self, key: &[u8]) -> Option<u64> {
+        Art::get(self, key)
+    }
+
+    fn insert(&mut self, key: &[u8], value: u64) -> Option<u64> {
+        Art::insert(self, key, value)
+    }
+
+    fn scan(&self, start: &[u8], count: usize) -> Vec<u64> {
+        Art::scan(self, start, count)
+    }
+
+    fn range(&self, low: &[u8], high: &[u8], limit: usize) -> Vec<u64> {
+        Art::range(self, low, high, limit)
+    }
+
+    fn len(&self) -> usize {
+        Art::len(self)
+    }
+
+    fn memory_bytes(&self) -> usize {
+        Art::memory_bytes(self)
     }
 }
 
@@ -677,6 +728,23 @@ mod tests {
     }
 
     #[test]
+    fn bounded_range_is_inclusive_and_ordered() {
+        let mut art = Art::new();
+        let keys = ["apple", "banana", "cherry", "date", "elderberry", "fig"];
+        for (i, k) in keys.iter().enumerate() {
+            art.insert(k.as_bytes(), i as u64);
+        }
+        assert_eq!(art.range(b"banana", b"date", 100), vec![1, 2, 3]);
+        assert_eq!(art.range(b"b", b"dz", 100), vec![1, 2, 3]);
+        assert_eq!(art.range(b"banana", b"date", 2), vec![1, 2]);
+        assert!(art.range(b"date", b"banana", 100).is_empty());
+        assert!(art.range(b"gg", b"zz", 100).is_empty());
+        // Prefix keys along the bound path.
+        art.insert(b"dat", 9);
+        assert_eq!(art.range(b"dat", b"date", 100), vec![9, 3]);
+    }
+
+    #[test]
     fn memory_grows_with_keys() {
         let mut art = Art::new();
         let m0 = art.memory_bytes();
@@ -726,6 +794,25 @@ mod tests {
             }
             let want: Vec<u64> = kvs.range(start.clone()..).take(count).map(|(_, v)| *v).collect();
             prop_assert_eq!(art.scan(&start, count), want);
+        }
+
+        #[test]
+        fn range_matches_btreemap_range(
+            kvs in proptest::collection::btree_map(
+                proptest::collection::vec(any::<u8>(), 0..16), any::<u64>(), 1..150),
+            low in proptest::collection::vec(any::<u8>(), 0..16),
+            span in proptest::collection::vec(any::<u8>(), 0..4),
+            count in 1usize..40,
+        ) {
+            let mut art = Art::new();
+            for (k, v) in &kvs {
+                art.insert(k, *v);
+            }
+            let mut high = low.clone();
+            high.extend_from_slice(&span);
+            let want: Vec<u64> =
+                kvs.range(low.clone()..=high.clone()).take(count).map(|(_, v)| *v).collect();
+            prop_assert_eq!(art.range(&low, &high, count), want);
         }
     }
 }

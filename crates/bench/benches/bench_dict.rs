@@ -13,7 +13,8 @@ use hope_workloads::{generate, sample_keys, Dataset};
 fn bench_dicts(c: &mut Criterion) {
     let keys = generate(Dataset::Email, 20_000, 7);
     let sample = sample_keys(&keys, 25.0, 2);
-    let set: IntervalSet = selector::select_intervals(Scheme::ThreeGrams, &sample, 1 << 14);
+    let set: IntervalSet =
+        selector::select_intervals(Scheme::ThreeGrams, &sample, 1 << 14).expect("valid intervals");
     let weights = selector::access_weights(&set, &sample);
     let codes = CodeAssigner::HuTucker.assign(&weights);
 

@@ -1,0 +1,86 @@
+//! Criterion bench: `hope_store` serving paths — point gets, inserts,
+//! bounded range scans (1 vs 4 shards, B+tree vs ART backends) and the
+//! full dictionary rebuild + hot-swap of one shard.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use hope_store::{Backend, HopeStore, StoreConfig};
+use hope_workloads::{generate, Dataset};
+
+const KEYS: usize = 20_000;
+
+fn cfg(shards: usize, backend: Backend) -> StoreConfig {
+    StoreConfig { shards, backend, ..StoreConfig::default() }
+}
+
+fn build_store(shards: usize, backend: Backend, keys: &[Vec<u8>]) -> HopeStore {
+    let pairs = keys.iter().enumerate().map(|(i, k)| (k.clone(), i as u64));
+    HopeStore::build(cfg(shards, backend), pairs).expect("store build")
+}
+
+fn bench_store(c: &mut Criterion) {
+    let keys = generate(Dataset::Email, KEYS, 42);
+    let probe: Vec<&Vec<u8>> = keys.iter().step_by(7).collect();
+
+    let mut group = c.benchmark_group("store_get");
+    group.throughput(Throughput::Elements(probe.len() as u64));
+    for (label, shards, backend) in [
+        ("btree_1shard", 1, Backend::BTree),
+        ("btree_4shard", 4, Backend::BTree),
+        ("art_4shard", 4, Backend::Art),
+    ] {
+        let store = build_store(shards, backend, &keys);
+        group.bench_function(label, |b| {
+            b.iter(|| {
+                let mut hits = 0u64;
+                for k in &probe {
+                    hits += store.get(k).is_some() as u64;
+                }
+                black_box(hits)
+            })
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("store_range_limit20");
+    group.throughput(Throughput::Elements(probe.len() as u64));
+    for (label, shards) in [("btree_1shard", 1), ("btree_4shard", 4)] {
+        let store = build_store(shards, Backend::BTree, &keys);
+        group.bench_function(label, |b| {
+            b.iter(|| {
+                let mut total = 0usize;
+                for k in &probe {
+                    total += store.range(k, &[k.as_slice(), b"\xff"].concat(), 20).len();
+                }
+                black_box(total)
+            })
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("store_insert");
+    let fresh = generate(Dataset::Email, KEYS * 2, 7);
+    group.throughput(Throughput::Elements(KEYS as u64));
+    group.bench_function("btree_4shard", |b| {
+        b.iter(|| {
+            let store = build_store(4, Backend::BTree, &keys);
+            for (i, k) in fresh[KEYS..].iter().enumerate() {
+                store.insert(k.clone(), i as u64);
+            }
+            black_box(store.len())
+        })
+    });
+    group.finish();
+
+    // The headline maintenance cost: rebuild one shard's dictionary from
+    // its reservoir and hot-swap the re-encoded generation in.
+    let mut group = c.benchmark_group("store_hot_swap");
+    group.sample_size(10);
+    let store = build_store(4, Backend::BTree, &keys);
+    group.bench_function("rebuild_one_shard_5k_keys", |b| {
+        b.iter(|| black_box(store.force_rebuild(0).expect("rebuild")))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_store);
+criterion_main!(benches);

@@ -13,6 +13,7 @@
 //! | `fig14_batch_encode` | Fig 14 / Appendix B (batch encoding) |
 //! | `fig15_distribution_shift` | Fig 15 / Appendix C (key distribution change) |
 //! | `fig16_tree_range_insert` | Fig 16 / Appendix D (range + insert, 4 trees) |
+//! | `fig17_store_shift` | Extension: `hope_store` dictionary hot-swap under shift |
 //!
 //! Every binary accepts `--keys N`, `--queries N`, `--seed N` and
 //! `--quick`; run with `cargo run --release -p hope_bench --bin <name>`.

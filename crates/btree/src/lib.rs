@@ -373,6 +373,21 @@ impl BPlusTree {
 
     /// Range scan: values of up to `count` keys `>= start`, in key order.
     pub fn scan(&self, start: &[u8], count: usize) -> Vec<u64> {
+        self.scan_bounded(start, None, count)
+    }
+
+    /// Bounded range scan: values of up to `limit` keys in `low..=high`
+    /// (inclusive on both ends), in key order.
+    pub fn range(&self, low: &[u8], high: &[u8], limit: usize) -> Vec<u64> {
+        if low > high {
+            return Vec::new();
+        }
+        self.scan_bounded(low, Some(high), limit)
+    }
+
+    /// Leaf-chain walk from the first key `>= start`, stopping at `count`
+    /// values or (when set) the first key `> high`.
+    fn scan_bounded(&self, start: &[u8], high: Option<&[u8]>, count: usize) -> Vec<u64> {
         let mut out = Vec::with_capacity(count.min(64));
         let mut at = self.root;
         while let Node::Inner(inner) = &self.nodes[at as usize] {
@@ -385,6 +400,11 @@ impl BPlusTree {
         };
         while let Node::Leaf(leaf) = &self.nodes[at as usize] {
             while pos < leaf.keys.len() && out.len() < count {
+                if let Some(h) = high {
+                    if leaf.keys.cmp(pos, h) == std::cmp::Ordering::Greater {
+                        return out;
+                    }
+                }
                 out.push(leaf.values[pos]);
                 pos += 1;
             }
@@ -395,6 +415,34 @@ impl BPlusTree {
             pos = 0;
         }
         out
+    }
+}
+
+/// B+trees satisfy the generic ordered-index contract HOPE serving layers
+/// program against.
+impl hope::OrderedIndex for BPlusTree {
+    fn get(&self, key: &[u8]) -> Option<u64> {
+        BPlusTree::get(self, key)
+    }
+
+    fn insert(&mut self, key: &[u8], value: u64) -> Option<u64> {
+        BPlusTree::insert(self, key, value)
+    }
+
+    fn scan(&self, start: &[u8], count: usize) -> Vec<u64> {
+        BPlusTree::scan(self, start, count)
+    }
+
+    fn range(&self, low: &[u8], high: &[u8], limit: usize) -> Vec<u64> {
+        BPlusTree::range(self, low, high, limit)
+    }
+
+    fn len(&self) -> usize {
+        BPlusTree::len(self)
+    }
+
+    fn memory_bytes(&self) -> usize {
+        BPlusTree::memory_bytes(self)
     }
 }
 
@@ -519,6 +567,23 @@ mod tests {
         }
     }
 
+    #[test]
+    fn bounded_range_is_inclusive_and_ordered() {
+        for mut t in both() {
+            for i in 0..200u64 {
+                t.insert(format!("user{i:04}").as_bytes(), i);
+            }
+            assert_eq!(t.range(b"user0010", b"user0013", 100), vec![10, 11, 12, 13]);
+            // Limit truncates from the front.
+            assert_eq!(t.range(b"user0010", b"user0100", 3), vec![10, 11, 12]);
+            // Bounds need not be stored keys.
+            assert_eq!(t.range(b"user0010x", b"user0012x", 100), vec![11, 12]);
+            // Inverted and empty ranges.
+            assert!(t.range(b"user0013", b"user0010", 100).is_empty());
+            assert!(t.range(b"zzz", b"zzzz", 100).is_empty());
+        }
+    }
+
     proptest! {
         #![proptest_config(ProptestConfig::with_cases(48))]
         #[test]
@@ -543,6 +608,11 @@ mod tests {
                 }
                 let want: Vec<u64> = model.range(start.clone()..).take(25).map(|(_, v)| *v).collect();
                 prop_assert_eq!(t.scan(&start, 25), want);
+                let mut hi = start.clone();
+                hi.extend_from_slice(b"\xff\xff");
+                let want: Vec<u64> =
+                    model.range(start.clone()..=hi.clone()).take(25).map(|(_, v)| *v).collect();
+                prop_assert_eq!(t.range(&start, &hi, 25), want);
             }
         }
     }

@@ -12,12 +12,26 @@ use crate::encoder::Encoder;
 use crate::selector::{self, Scheme};
 
 /// Errors from the build phase.
+///
+/// Every fallible stage of the pipeline reports through this type instead
+/// of panicking, so embedding systems (e.g. a `hope_store` shard rebuild)
+/// can surface a failed dictionary build and keep serving the previous
+/// generation rather than aborting.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum HopeError {
     /// The sampled key list was empty and the scheme needs statistics.
     EmptySample,
     /// Target dictionary size was zero.
     ZeroDictionarySize,
+    /// The symbol selector produced an interval division that fails
+    /// [`IntervalSet::validate`]: not connected, not sorted, or otherwise
+    /// violating the complete-division invariant of §3.2.
+    InvalidIntervals {
+        /// Name of the scheme whose selector failed.
+        scheme: &'static str,
+        /// Human-readable description of the violated invariant.
+        detail: String,
+    },
 }
 
 impl std::fmt::Display for HopeError {
@@ -25,6 +39,9 @@ impl std::fmt::Display for HopeError {
         match self {
             HopeError::EmptySample => write!(f, "sampled key list is empty"),
             HopeError::ZeroDictionarySize => write!(f, "dictionary size must be positive"),
+            HopeError::InvalidIntervals { scheme, detail } => {
+                write!(f, "{scheme}: invalid interval division: {detail}")
+            }
         }
     }
 }
@@ -88,7 +105,7 @@ impl HopeBuilder {
 
         // Module 1: Symbol Selector (interval division + test encoding).
         let t0 = Instant::now();
-        let set = selector::select_intervals(self.scheme, &sample, self.target_entries);
+        let set = selector::select_intervals(self.scheme, &sample, self.target_entries)?;
         let weights = selector::access_weights(&set, &sample);
         let symbol_select = t0.elapsed();
 
@@ -158,6 +175,21 @@ impl Hope {
         self.encoder.encode_pair(low, high)
     }
 
+    /// Encode the inclusive boundaries of a range query into the padded
+    /// byte form order-sensitive structures index.
+    ///
+    /// Every source key `k` with `low <= k <= high` encodes to padded bytes
+    /// within `[lo, hi]` byte-wise, so the pair can drive a compressed range
+    /// scan directly. The converse holds except in the zero-extension
+    /// corner (see DESIGN.md, "Encoded-key comparison"): a boundary byte
+    /// string may also be shared by keys just *outside* the range, so exact
+    /// consumers re-check boundary matches against the source-key bounds
+    /// (as `hope_store` does).
+    pub fn encode_range_bounds(&self, low: &[u8], high: &[u8]) -> (Vec<u8>, Vec<u8>) {
+        let (lo, hi) = self.encoder.encode_pair(low, high);
+        (lo.into_bytes(), hi.into_bytes())
+    }
+
     /// Access the low-level encoder.
     pub fn encoder(&self) -> &Encoder {
         &self.encoder
@@ -200,17 +232,29 @@ mod tests {
     }
 
     #[test]
-    fn builds_every_scheme() {
+    fn builds_every_scheme() -> Result<(), HopeError> {
         for scheme in Scheme::ALL {
-            let hope = HopeBuilder::new(scheme)
-                .dictionary_entries(1024)
-                .build_from_sample(sample())
-                .unwrap_or_else(|e| panic!("{scheme}: {e}"));
+            // Build failures surface as HopeError values, not panics.
+            let hope =
+                HopeBuilder::new(scheme).dictionary_entries(1024).build_from_sample(sample())?;
             assert!(hope.dict_entries() > 0);
             assert!(hope.dict_memory_bytes() > 0);
             assert!(hope.timings().total() > Duration::ZERO);
             let e = hope.encode(b"com.gmail@user0007");
             assert!(e.bit_len() > 0);
+        }
+        Ok(())
+    }
+
+    #[test]
+    fn range_bounds_bracket_contained_keys() {
+        let hope = HopeBuilder::new(Scheme::DoubleChar).build_from_sample(sample()).unwrap();
+        let (lo, hi) = hope.encode_range_bounds(b"com.gmail@user0010", b"com.gmail@user0100");
+        assert_eq!(lo, hope.encode(b"com.gmail@user0010").into_bytes());
+        assert_eq!(hi, hope.encode(b"com.gmail@user0100").into_bytes());
+        for probe in ["com.gmail@user0010", "com.gmail@user0055", "com.gmail@user0100"] {
+            let e = hope.encode(probe.as_bytes()).into_bytes();
+            assert!(lo <= e && e <= hi, "{probe} escaped its range bounds");
         }
     }
 

@@ -90,7 +90,7 @@ mod tests {
     use proptest::prelude::*;
 
     fn roundtrip_scheme(scheme: Scheme, sample: &[Vec<u8>], keys: &[Vec<u8>]) {
-        let set = selector::select_intervals(scheme, sample, 512);
+        let set = selector::select_intervals(scheme, sample, 512).unwrap();
         let weights = selector::access_weights(&set, sample);
         let assigner = if scheme.uses_hu_tucker() {
             CodeAssigner::HuTucker

@@ -125,7 +125,7 @@ mod tests {
     /// Every concrete dictionary must agree with the binary-search baseline
     /// on every lookup — the key differential test of this module.
     fn check_against_baseline(scheme: Scheme, sample: &[Vec<u8>], probes: &[Vec<u8>]) {
-        let set = selector::select_intervals(scheme, sample, 128);
+        let set = selector::select_intervals(scheme, sample, 128).unwrap();
         let weights = selector::access_weights(&set, sample);
         let codes = CodeAssigner::HuTucker.assign(&weights);
         let fast = Dict::build(scheme, &set, &codes);

@@ -148,7 +148,7 @@ mod tests {
     use crate::selector::{self, Scheme};
 
     fn build_encoder(scheme: Scheme, sample: &[Vec<u8>]) -> Encoder {
-        let set = selector::select_intervals(scheme, sample, 512);
+        let set = selector::select_intervals(scheme, sample, 512).unwrap();
         let weights = selector::access_weights(&set, sample);
         let codes = if scheme.uses_hu_tucker() {
             CodeAssigner::HuTucker.assign(&weights)

@@ -1,0 +1,110 @@
+//! The [`OrderedIndex`] abstraction: what HOPE requires of a search tree.
+//!
+//! HOPE compresses keys for *order-sensitive* structures; any index that
+//! maps byte-string keys to `u64` values and supports ordered iteration can
+//! store HOPE-encoded keys and answer the same point and range queries
+//! (§5). This trait captures that contract so serving layers — notably the
+//! `hope_store` sharded store — can treat the tree backend as pluggable:
+//! `hope_btree::BPlusTree` and `hope_art::Art` implement it, and
+//! [`std::collections::BTreeMap`] gets a reference implementation used as
+//! the differential-testing oracle.
+//!
+//! Keys are plain byte slices: callers index either raw keys or the padded
+//! bytes of an [`EncodedKey`](crate::EncodedKey). The trait requires
+//! `Send + Sync` so an index can sit behind a shard's epoch handle and be
+//! read from many threads.
+
+/// An ordered map from byte-string keys to `u64` values.
+///
+/// The ordering contract: iteration-order equals lexicographic byte order
+/// of the stored keys, `range` bounds are **inclusive** on both ends, and
+/// a key may be a prefix of another key (required for HOPE-encoded keys).
+pub trait OrderedIndex: Send + Sync + std::fmt::Debug {
+    /// Point lookup.
+    fn get(&self, key: &[u8]) -> Option<u64>;
+
+    /// Insert or update; returns the previous value if the key existed.
+    fn insert(&mut self, key: &[u8], value: u64) -> Option<u64>;
+
+    /// Values of up to `count` keys `>= start`, in key order.
+    fn scan(&self, start: &[u8], count: usize) -> Vec<u64>;
+
+    /// Values of up to `limit` keys in `low..=high`, in key order.
+    fn range(&self, low: &[u8], high: &[u8], limit: usize) -> Vec<u64>;
+
+    /// Number of stored keys.
+    fn len(&self) -> usize;
+
+    /// True if no keys are stored.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Approximate memory footprint of the index structure in bytes.
+    fn memory_bytes(&self) -> usize;
+}
+
+/// Reference implementation over the standard library's ordered map, used
+/// as the oracle in differential tests and as a no-frills store backend.
+impl OrderedIndex for std::collections::BTreeMap<Vec<u8>, u64> {
+    fn get(&self, key: &[u8]) -> Option<u64> {
+        std::collections::BTreeMap::get(self, key).copied()
+    }
+
+    fn insert(&mut self, key: &[u8], value: u64) -> Option<u64> {
+        std::collections::BTreeMap::insert(self, key.to_vec(), value)
+    }
+
+    fn scan(&self, start: &[u8], count: usize) -> Vec<u64> {
+        self.range(start.to_vec()..).take(count).map(|(_, v)| *v).collect()
+    }
+
+    fn range(&self, low: &[u8], high: &[u8], limit: usize) -> Vec<u64> {
+        if low > high {
+            return Vec::new();
+        }
+        self.range(low.to_vec()..=high.to_vec()).take(limit).map(|(_, v)| *v).collect()
+    }
+
+    fn len(&self) -> usize {
+        std::collections::BTreeMap::len(self)
+    }
+
+    fn memory_bytes(&self) -> usize {
+        self.keys().map(|k| k.len() + std::mem::size_of::<(Vec<u8>, u64)>()).sum::<usize>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeMap;
+
+    fn probe(ix: &mut dyn OrderedIndex) {
+        assert!(ix.is_empty());
+        assert_eq!(ix.insert(b"b", 2), None);
+        assert_eq!(ix.insert(b"a", 1), None);
+        assert_eq!(ix.insert(b"ab", 3), None);
+        assert_eq!(ix.insert(b"a", 10), Some(1));
+        assert_eq!(ix.len(), 3);
+        assert_eq!(ix.get(b"ab"), Some(3));
+        assert_eq!(ix.get(b"zz"), None);
+        assert_eq!(ix.scan(b"a", 2), vec![10, 3]);
+        assert_eq!(ix.range(b"a", b"ab", 10), vec![10, 3]);
+        assert_eq!(ix.range(b"b", b"a", 10), Vec::<u64>::new());
+        assert!(ix.memory_bytes() > 0);
+    }
+
+    #[test]
+    fn btreemap_reference_implementation() {
+        let mut m: BTreeMap<Vec<u8>, u64> = BTreeMap::new();
+        probe(&mut m);
+    }
+
+    #[test]
+    fn trait_object_is_usable_behind_a_box() {
+        let mut b: Box<dyn OrderedIndex> = Box::<BTreeMap<Vec<u8>, u64>>::default();
+        b.insert(b"k", 7);
+        assert_eq!(b.get(b"k"), Some(7));
+    }
+}

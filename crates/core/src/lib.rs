@@ -48,10 +48,12 @@ pub mod decoder;
 pub mod dict;
 pub mod encoder;
 pub mod hu_tucker;
+pub mod index;
 pub mod selector;
 pub mod stats;
 
 pub use bitpack::{Code, EncodedKey};
 pub use builder::{BuildTimings, Hope, HopeBuilder, HopeError};
 pub use encoder::Encoder;
+pub use index::OrderedIndex;
 pub use selector::Scheme;

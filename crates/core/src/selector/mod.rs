@@ -18,6 +18,7 @@ pub use ngram::NGramSelector;
 pub use single_char::single_char_intervals;
 
 use crate::axis::IntervalSet;
+use crate::builder::HopeError;
 
 /// The six compression schemes of the paper (§3.3, Table 1).
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -106,15 +107,26 @@ impl std::fmt::Display for Scheme {
 ///
 /// `target_entries` bounds the dictionary size for the variable-size schemes
 /// and is ignored by Single-Char/Double-Char.
-pub fn select_intervals(scheme: Scheme, sample: &[Vec<u8>], target_entries: usize) -> IntervalSet {
-    match scheme {
+///
+/// The returned division is validated against the complete-division
+/// invariant (§3.2); a selector bug surfaces as
+/// [`HopeError::InvalidIntervals`] instead of corrupting downstream stages.
+pub fn select_intervals(
+    scheme: Scheme,
+    sample: &[Vec<u8>],
+    target_entries: usize,
+) -> Result<IntervalSet, HopeError> {
+    let set = match scheme {
         Scheme::SingleChar => single_char_intervals(),
         Scheme::DoubleChar => double_char_intervals(),
         Scheme::ThreeGrams => NGramSelector::new(3).select(sample, target_entries),
         Scheme::FourGrams => NGramSelector::new(4).select(sample, target_entries),
         Scheme::Alm => AlmSelector::original().select(sample, target_entries),
         Scheme::AlmImproved => AlmSelector::improved().select(sample, target_entries),
-    }
+    };
+    set.validate()
+        .map_err(|detail| HopeError::InvalidIntervals { scheme: scheme.name(), detail })?;
+    Ok(set)
 }
 
 /// Weight put on one observed interval hit, relative to the +1 smoothing
@@ -167,7 +179,7 @@ mod tests {
     }
 
     #[test]
-    fn every_scheme_selects_valid_intervals() {
+    fn every_scheme_selects_valid_intervals() -> Result<(), HopeError> {
         let sample: Vec<Vec<u8>> = [
             "com.gmail@alice",
             "com.gmail@bob",
@@ -180,10 +192,21 @@ mod tests {
         .map(|s| s.as_bytes().to_vec())
         .collect();
         for scheme in Scheme::ALL {
-            let set = select_intervals(scheme, &sample, 64);
-            set.validate().unwrap_or_else(|e| panic!("{scheme}: {e}"));
+            // A division violating §3.2 comes back as a HopeError here.
+            let set = select_intervals(scheme, &sample, 64)?;
             let w = access_weights(&set, &sample);
             assert_eq!(w.len(), set.len());
         }
+        Ok(())
+    }
+
+    #[test]
+    fn invalid_intervals_error_names_the_scheme() {
+        let err = HopeError::InvalidIntervals {
+            scheme: Scheme::ThreeGrams.name(),
+            detail: "boundary 3 out of order".into(),
+        };
+        let msg = err.to_string();
+        assert!(msg.contains("3-Grams") && msg.contains("out of order"), "{msg}");
     }
 }

@@ -1,0 +1,329 @@
+//! One dictionary **generation** of a shard: an immutable HOPE compressor
+//! plus the ordered index of keys encoded under it.
+//!
+//! A generation is the unit of the epoch-based hot-swap: readers clone the
+//! shard's `Arc<Generation>` and keep using it even while a replacement is
+//! being built; when the swap lands, stale readers simply drain and the
+//! old generation is dropped with its last `Arc`.
+//!
+//! ## Exactness under padded-byte ties
+//!
+//! Trees index the *padded bytes* of an encoding. Padded-byte comparison
+//! preserves source order except that two distinct keys can **tie** (the
+//! zero-extension corner, see DESIGN.md "Encoded-key comparison"). A
+//! generation therefore never maps encoded bytes straight to a value:
+//! index values are ids into a slot table, and each slot holds the entries
+//! of every live key sharing that byte string, ordered by source key.
+//! Point lookups re-check the source key inside the slot and range scans
+//! re-check the source bounds, so the store is exact for arbitrary byte
+//! keys — not just keys where ties cannot occur.
+
+use std::sync::RwLock;
+
+use hope::{Hope, OrderedIndex};
+
+/// One stored record: the original (uncompressed) key and its value.
+///
+/// The source key must be retained anyway to re-encode the shard under a
+/// new dictionary at swap time; keeping it per entry also gives the slot
+/// table something authoritative to compare against.
+#[derive(Debug, Clone)]
+pub(crate) struct Entry {
+    pub key: Box<[u8]>,
+    pub value: u64,
+}
+
+/// The mutable interior of a generation.
+///
+/// `entries` is an **append-only log**: updates append a fresh entry and
+/// re-point the slot at it rather than overwriting in place. That makes
+/// the swap protocol trivial — everything a writer did after the rebuild
+/// snapshot is exactly `entries[watermark..]`, replayable in order — at
+/// the cost of dead log entries that the next rebuild compacts away.
+#[derive(Debug)]
+pub(crate) struct GenData {
+    /// Ordered index over encoded padded bytes; values are slot ids.
+    pub index: Box<dyn OrderedIndex>,
+    /// Append-only entry log (live and superseded).
+    pub entries: Vec<Entry>,
+    /// Slot id → live entry indices, ordered by source key.
+    pub slots: Vec<Vec<u32>>,
+    /// Number of live keys.
+    pub live: usize,
+}
+
+/// An immutable dictionary plus the index of keys encoded under it.
+#[derive(Debug)]
+pub struct Generation {
+    epoch: u64,
+    hope: Hope,
+    baseline_cpr: f64,
+    data: RwLock<GenData>,
+}
+
+/// Encode-side footprint of one insert, accumulated into the shard's
+/// drift statistics.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct EncodeFootprint {
+    /// Uncompressed key bytes.
+    pub src_bytes: u64,
+    /// Padded encoded bytes.
+    pub enc_bytes: u64,
+}
+
+impl Generation {
+    /// Build a generation from **sorted, deduplicated** `(key, value)`
+    /// pairs, batch-encoding the keys with the sorted-batch prefix-reuse
+    /// optimization (Appendix B) in blocks of `batch_block`.
+    pub(crate) fn build(
+        epoch: u64,
+        hope: Hope,
+        baseline_cpr: f64,
+        mut index: Box<dyn OrderedIndex>,
+        pairs: Vec<Entry>,
+        batch_block: usize,
+    ) -> Generation {
+        debug_assert!(pairs.windows(2).all(|w| w[0].key < w[1].key), "bulk load must be sorted");
+        let keys: Vec<&[u8]> = pairs.iter().map(|e| e.key.as_ref()).collect();
+        let encoded = hope.encode_batch(&keys, batch_block.max(1));
+        let live = pairs.len();
+        // Sorted input keeps equal encodings adjacent: open a new slot on
+        // every change of byte string, append to the current one on a tie.
+        let mut slots: Vec<Vec<u32>> = Vec::new();
+        let mut prev: Option<Vec<u8>> = None;
+        for (i, enc) in encoded.into_iter().enumerate() {
+            let bytes = enc.into_bytes();
+            if prev.as_deref() == Some(bytes.as_slice()) {
+                slots.last_mut().expect("tie follows an opened slot").push(i as u32);
+            } else {
+                slots.push(vec![i as u32]);
+                index.insert(&bytes, (slots.len() - 1) as u64);
+                prev = Some(bytes);
+            }
+        }
+        let data = GenData { index, entries: pairs, slots, live };
+        Generation { epoch, hope, baseline_cpr, data: RwLock::new(data) }
+    }
+
+    /// The epoch this generation was installed under.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Compression rate of the dictionary on its own build sample — the
+    /// reference the shard's observed CPR is compared against.
+    pub fn baseline_cpr(&self) -> f64 {
+        self.baseline_cpr
+    }
+
+    /// The compressor of this generation.
+    pub fn hope(&self) -> &Hope {
+        &self.hope
+    }
+
+    /// Number of live keys.
+    pub fn len(&self) -> usize {
+        self.data.read().unwrap().live
+    }
+
+    /// True if the generation holds no live keys.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Memory footprint: index structure + entry log + slot table.
+    pub fn memory_bytes(&self) -> usize {
+        let d = self.data.read().unwrap();
+        d.index.memory_bytes()
+            + d.entries.iter().map(|e| e.key.len() + std::mem::size_of::<Entry>()).sum::<usize>()
+            + d.slots.iter().map(|s| s.len() * 4 + std::mem::size_of::<Vec<u32>>()).sum::<usize>()
+    }
+
+    /// Point lookup by source key.
+    pub fn get(&self, key: &[u8]) -> Option<u64> {
+        let enc = self.hope.encode(key).into_bytes();
+        let d = self.data.read().unwrap();
+        let slot = d.index.get(&enc)?;
+        let slot = &d.slots[slot as usize];
+        slot.iter()
+            .map(|&ei| &d.entries[ei as usize])
+            .find(|e| e.key.as_ref() == key)
+            .map(|e| e.value)
+    }
+
+    /// Insert or update; returns the previous value (if any) and the
+    /// encode footprint for drift accounting.
+    pub(crate) fn insert(&self, key: &[u8], value: u64) -> (Option<u64>, EncodeFootprint) {
+        let enc = self.hope.encode(key);
+        let footprint =
+            EncodeFootprint { src_bytes: key.len() as u64, enc_bytes: enc.byte_len() as u64 };
+        let bytes = enc.into_bytes();
+        let mut d = self.data.write().unwrap();
+        // Slot entries are u32; the log is compacted by rebuilds long
+        // before this bound in any maintained deployment.
+        let new_idx = u32::try_from(d.entries.len())
+            .expect("generation write log exceeded u32::MAX entries without a rebuild");
+        d.entries.push(Entry { key: key.into(), value });
+        let existing = d.index.get(&bytes);
+        let GenData { index, entries, slots, live } = &mut *d;
+        match existing {
+            Some(slot_id) => {
+                let slot = &mut slots[slot_id as usize];
+                match slot.iter().position(|&ei| entries[ei as usize].key.as_ref() >= key) {
+                    Some(pos) if entries[slot[pos] as usize].key.as_ref() == key => {
+                        // Update: re-point the slot, keep the old log entry
+                        // as garbage for the swap replay to supersede.
+                        let old = entries[slot[pos] as usize].value;
+                        slot[pos] = new_idx;
+                        (Some(old), footprint)
+                    }
+                    Some(pos) => {
+                        slot.insert(pos, new_idx);
+                        *live += 1;
+                        (None, footprint)
+                    }
+                    None => {
+                        slot.push(new_idx);
+                        *live += 1;
+                        (None, footprint)
+                    }
+                }
+            }
+            None => {
+                slots.push(vec![new_idx]);
+                index.insert(&bytes, (slots.len() - 1) as u64);
+                *live += 1;
+                (None, footprint)
+            }
+        }
+    }
+
+    /// Bounded range query by source keys, inclusive on both ends:
+    /// `(key, value)` pairs in source order, at most `limit`.
+    pub fn range(&self, low: &[u8], high: &[u8], limit: usize) -> Vec<(Vec<u8>, u64)> {
+        if low > high || limit == 0 {
+            return Vec::new();
+        }
+        let (enc_low, enc_high) = self.hope.encode_range_bounds(low, high);
+        let d = self.data.read().unwrap();
+        // Boundary slots may mix keys inside and outside the source range
+        // (padded-byte ties), so a slot-limited query can come up short
+        // after filtering; grow the slot budget until satisfied or the
+        // encoded range is exhausted.
+        let mut want = limit.saturating_add(2);
+        loop {
+            let slot_ids = d.index.range(&enc_low, &enc_high, want);
+            let exhausted = slot_ids.len() < want;
+            let mut out = Vec::with_capacity(limit.min(slot_ids.len()));
+            for sid in &slot_ids {
+                for &ei in &d.slots[*sid as usize] {
+                    let e = &d.entries[ei as usize];
+                    if e.key.as_ref() >= low && e.key.as_ref() <= high {
+                        out.push((e.key.to_vec(), e.value));
+                    }
+                }
+            }
+            if out.len() >= limit || exhausted {
+                out.truncate(limit);
+                return out;
+            }
+            want = want.saturating_mul(2);
+        }
+    }
+
+    /// Snapshot the live entries in source order plus the log watermark;
+    /// everything appended after `watermark` is what the swap must replay.
+    pub(crate) fn snapshot_live(&self) -> (Vec<Entry>, usize) {
+        let d = self.data.read().unwrap();
+        let slot_ids = d.index.scan(&[], usize::MAX);
+        let mut live = Vec::with_capacity(d.live);
+        for sid in slot_ids {
+            for &ei in &d.slots[sid as usize] {
+                live.push(d.entries[ei as usize].clone());
+            }
+        }
+        (live, d.entries.len())
+    }
+
+    /// Clone of the log entries appended after `watermark`, in order.
+    pub(crate) fn entries_since(&self, watermark: usize) -> Vec<Entry> {
+        let d = self.data.read().unwrap();
+        d.entries[watermark.min(d.entries.len())..].to_vec()
+    }
+
+    /// `(live keys, total log entries)` — the gap between the two is dead
+    /// log garbage a rebuild would compact away.
+    pub(crate) fn occupancy(&self) -> (usize, usize) {
+        let d = self.data.read().unwrap();
+        (d.live, d.entries.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hope::{HopeBuilder, Scheme};
+
+    fn build_gen(pairs: &[(&str, u64)]) -> Generation {
+        let sample: Vec<Vec<u8>> = pairs.iter().map(|(k, _)| k.as_bytes().to_vec()).collect();
+        let hope = HopeBuilder::new(Scheme::DoubleChar).build_from_sample(sample).unwrap();
+        let mut sorted: Vec<Entry> =
+            pairs.iter().map(|(k, v)| Entry { key: k.as_bytes().into(), value: *v }).collect();
+        sorted.sort_by(|a, b| a.key.cmp(&b.key));
+        let index: Box<dyn OrderedIndex> = Box::new(hope_btree::BPlusTree::plain());
+        Generation::build(7, hope, 1.5, index, sorted, 8)
+    }
+
+    #[test]
+    fn bulk_load_and_get() {
+        let g = build_gen(&[("com.gmail@a", 1), ("com.gmail@b", 2), ("org.acm@c", 3)]);
+        assert_eq!(g.epoch(), 7);
+        assert_eq!(g.len(), 3);
+        assert_eq!(g.get(b"com.gmail@a"), Some(1));
+        assert_eq!(g.get(b"org.acm@c"), Some(3));
+        assert_eq!(g.get(b"com.gmail@zz"), None);
+        assert!(g.memory_bytes() > 0);
+    }
+
+    #[test]
+    fn insert_update_and_log_replay_watermark() {
+        let g = build_gen(&[("com.gmail@a", 1)]);
+        let (_, w0) = g.snapshot_live();
+        assert_eq!(g.insert(b"com.gmail@b", 2).0, None);
+        assert_eq!(g.insert(b"com.gmail@a", 9).0, Some(1));
+        assert_eq!(g.get(b"com.gmail@a"), Some(9));
+        assert_eq!(g.len(), 2);
+        // The log after the watermark replays both mutations in order.
+        let delta = g.entries_since(w0);
+        assert_eq!(delta.len(), 2);
+        assert_eq!(delta[0].key.as_ref(), b"com.gmail@b");
+        assert_eq!(delta[1].value, 9);
+    }
+
+    #[test]
+    fn range_is_inclusive_and_source_ordered() {
+        let g = build_gen(&[
+            ("com.gmail@a", 1),
+            ("com.gmail@b", 2),
+            ("com.gmail@c", 3),
+            ("org.acm@d", 4),
+        ]);
+        let got = g.range(b"com.gmail@a", b"com.gmail@c", 10);
+        let keys: Vec<&[u8]> = got.iter().map(|(k, _)| k.as_slice()).collect();
+        assert_eq!(keys, vec![&b"com.gmail@a"[..], b"com.gmail@b", b"com.gmail@c"]);
+        assert_eq!(g.range(b"com.gmail@a", b"com.gmail@c", 2).len(), 2);
+        assert!(g.range(b"x", b"a", 10).is_empty());
+        assert!(g.range(b"zz", b"zzz", 10).is_empty());
+    }
+
+    #[test]
+    fn snapshot_live_is_sorted_and_deduplicated() {
+        let g = build_gen(&[("b", 2), ("a", 1)]);
+        g.insert(b"c", 3);
+        g.insert(b"a", 10);
+        let (live, _) = g.snapshot_live();
+        let keys: Vec<&[u8]> = live.iter().map(|e| e.key.as_ref()).collect();
+        assert_eq!(keys, vec![&b"a"[..], b"b", b"c"]);
+        assert_eq!(live[0].value, 10, "snapshot must carry the updated value");
+    }
+}

@@ -1,0 +1,582 @@
+//! # hope_store — a concurrent, sharded store over HOPE-compressed keys
+//!
+//! The paper's dictionaries are static: built once from a sample, then
+//! frozen. Appendix C (`fig15_distribution_shift`) shows what that costs a
+//! long-running system — when the key distribution drifts, the compression
+//! rate quietly decays. This crate adds the serving layer the ROADMAP
+//! calls for: an order-preserving compressed key-value store that keeps
+//! its dictionaries *fresh* without ever blocking readers.
+//!
+//! ## Architecture
+//!
+//! * **Sharding** — keys are split across N partitions on encoded-key
+//!   ranges (quantiles of the bulk-load's encoded sort order; because the
+//!   encoding is order-preserving the same split points, kept in source
+//!   form, stay valid across dictionary swaps). Each shard owns an
+//!   independent dictionary, index, statistics and epoch.
+//! * **Pluggable trees** — every shard indexes the encoded padded bytes
+//!   in any [`OrderedIndex`] backend: the repo's B+tree (plain or prefix),
+//!   its ART, or `std`'s `BTreeMap` as reference.
+//! * **Epoch-based dictionary hot-swap** — each shard tracks the CPR its
+//!   inserts actually achieve; when it degrades past a threshold of the
+//!   build-time baseline, [`HopeStore::maintain`] rebuilds the dictionary
+//!   from a reservoir sample of recent traffic, re-encodes the shard into
+//!   a fresh [`Generation`] in the background, replays the writes that
+//!   landed meanwhile, and flips the shard's `Arc` epoch handle. Readers
+//!   on the old generation drain gracefully; none ever block.
+//!
+//! ```
+//! use hope_store::{HopeStore, StoreConfig};
+//!
+//! let pairs = (0..1000u64).map(|i| (format!("com.gmail@user{i:04}").into_bytes(), i));
+//! let store = HopeStore::build(StoreConfig::default(), pairs).unwrap();
+//! assert_eq!(store.get(b"com.gmail@user0007"), Some(7));
+//! store.insert(b"com.gmail@newcomer".to_vec(), 9999);
+//! let hits = store.range(b"com.gmail@user0100", b"com.gmail@user0102", 10);
+//! assert_eq!(hits.len(), 3);
+//! ```
+
+#![warn(missing_docs)]
+#![deny(unsafe_code)]
+
+mod generation;
+mod shard;
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use hope::stats;
+use hope::{Hope, HopeBuilder, HopeError, OrderedIndex, Scheme};
+
+pub use generation::Generation;
+
+use generation::Entry;
+use shard::Shard;
+
+/// Which ordered-index structure each shard runs on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Backend {
+    /// Plain TLX-style B+tree (`hope_btree`).
+    BTree,
+    /// Prefix-truncating B+tree (`hope_btree`).
+    PrefixBTree,
+    /// Adaptive Radix Tree (`hope_art`).
+    Art,
+    /// `std::collections::BTreeMap` — the reference backend.
+    BTreeMap,
+}
+
+impl Backend {
+    /// Fresh empty index of this kind.
+    pub fn new_index(&self) -> Box<dyn OrderedIndex> {
+        match self {
+            Backend::BTree => Box::new(hope_btree::BPlusTree::plain()),
+            Backend::PrefixBTree => Box::new(hope_btree::BPlusTree::prefix()),
+            Backend::Art => Box::new(hope_art::Art::new()),
+            Backend::BTreeMap => Box::<std::collections::BTreeMap<Vec<u8>, u64>>::default(),
+        }
+    }
+}
+
+/// Store construction and maintenance parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct StoreConfig {
+    /// Number of partitions (≥ 1).
+    pub shards: usize,
+    /// Compression scheme for every shard dictionary.
+    pub scheme: Scheme,
+    /// Target dictionary entries (variable-size schemes).
+    pub dict_entries: usize,
+    /// Tree backend indexing the encoded keys.
+    pub backend: Backend,
+    /// Keys held in each shard's traffic reservoir.
+    pub reservoir_capacity: usize,
+    /// Rebuild triggers when observed CPR falls below this fraction of
+    /// the generation's build-time baseline CPR.
+    pub degrade_ratio: f64,
+    /// Minimum inserted source bytes before drift is judged at all.
+    pub min_observed_bytes: u64,
+    /// Block size for the sorted-batch bulk encode (Appendix B).
+    pub batch_block: usize,
+    /// Seed for the reservoir sampling decisions.
+    pub seed: u64,
+}
+
+impl Default for StoreConfig {
+    fn default() -> Self {
+        StoreConfig {
+            shards: 4,
+            scheme: Scheme::DoubleChar,
+            dict_entries: 1 << 16,
+            backend: Backend::BTree,
+            reservoir_capacity: 2048,
+            degrade_ratio: 0.9,
+            min_observed_bytes: 64 * 1024,
+            batch_block: 16,
+            seed: 42,
+        }
+    }
+}
+
+/// What one successful dictionary hot-swap did.
+#[derive(Debug, Clone)]
+pub struct SwapReport {
+    /// Shard that swapped.
+    pub shard: usize,
+    /// Epoch of the superseded generation.
+    pub old_epoch: u64,
+    /// Epoch of the freshly installed generation.
+    pub new_epoch: u64,
+    /// CPR observed on the old generation's insert traffic at swap time.
+    pub observed_cpr: Option<f64>,
+    /// Build-time baseline CPR of the superseded dictionary.
+    pub old_baseline_cpr: f64,
+    /// Build-time baseline CPR of the new dictionary.
+    pub new_baseline_cpr: f64,
+    /// Live keys re-encoded into the new generation.
+    pub live_keys: usize,
+    /// Writes replayed from the log tail during the splice.
+    pub replayed: usize,
+}
+
+/// Point-in-time health of one shard.
+#[derive(Debug, Clone)]
+pub struct ShardReport {
+    /// Shard id (position in split order).
+    pub shard: usize,
+    /// Current epoch.
+    pub epoch: u64,
+    /// Live keys.
+    pub keys: usize,
+    /// CPR observed on insert traffic since the current generation.
+    pub observed_cpr: Option<f64>,
+    /// The dictionary's build-time baseline CPR.
+    pub baseline_cpr: f64,
+    /// Dictionary memory in bytes.
+    pub dict_bytes: usize,
+    /// Index + record memory in bytes.
+    pub index_bytes: usize,
+}
+
+/// A concurrent, sharded key-value store over HOPE-compressed keys.
+///
+/// All operations take `&self`; the store is `Send + Sync` and designed to
+/// sit behind an `Arc` with many reader and writer threads.
+#[derive(Debug)]
+pub struct HopeStore {
+    cfg: StoreConfig,
+    /// Source-form split points, `boundaries.len() == shards - 1`; shard
+    /// `i` holds keys in `[boundaries[i-1], boundaries[i])`.
+    boundaries: Vec<Vec<u8>>,
+    shards: Vec<Shard>,
+    epoch_counter: AtomicU64,
+}
+
+/// Fallback dictionary sample when a shard has no traffic and no resident
+/// keys to learn from: enough short strings that every scheme's selector
+/// finds patterns to divide on.
+fn default_sample() -> Vec<Vec<u8>> {
+    (0..64u32).map(|i| format!("hope-default-{i:04}").into_bytes()).collect()
+}
+
+/// Build one shard dictionary, substituting the default sample when the
+/// provided one is empty (variable-size schemes reject empty samples).
+pub(crate) fn build_hope_for(cfg: &StoreConfig, sample: &[Vec<u8>]) -> Result<Hope, HopeError> {
+    let builder = HopeBuilder::new(cfg.scheme).dictionary_entries(cfg.dict_entries);
+    if sample.is_empty() {
+        builder.build_from_sample(default_sample())
+    } else {
+        builder.build_from_sample(sample.iter().cloned())
+    }
+}
+
+impl HopeStore {
+    /// Build a store from an initial key-value load.
+    ///
+    /// Duplicate keys keep the last value. The load is sorted once; shard
+    /// split points are the quantiles of the sorted **encoded** order
+    /// (identical to source order — the encoding is order-preserving), and
+    /// every shard bulk-loads its slice with the Appendix-B sorted-batch
+    /// encoder. Surfaces dictionary-build failures as [`HopeError`]
+    /// instead of panicking.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a nonsensical configuration — `shards == 0` or
+    /// `degrade_ratio` outside `(0, 1]` — which is a programming error,
+    /// not a runtime build failure.
+    pub fn build<I>(cfg: StoreConfig, pairs: I) -> Result<HopeStore, HopeError>
+    where
+        I: IntoIterator<Item = (Vec<u8>, u64)>,
+    {
+        assert!(cfg.shards >= 1, "need at least one shard");
+        assert!(cfg.degrade_ratio > 0.0 && cfg.degrade_ratio <= 1.0, "degrade_ratio in (0, 1]");
+        // Last write wins, sorted by source key.
+        let sorted: std::collections::BTreeMap<Vec<u8>, u64> = pairs.into_iter().collect();
+        let sorted: Vec<(Vec<u8>, u64)> = sorted.into_iter().collect();
+
+        // Split points at the quantiles of the (encoded) sort order.
+        let n = sorted.len();
+        let boundaries: Vec<Vec<u8>> = (1..cfg.shards)
+            .map(|i| {
+                if n == 0 {
+                    // No data to learn a split from: divide the byte space.
+                    vec![(i * 256 / cfg.shards) as u8]
+                } else {
+                    sorted[(i * n / cfg.shards).min(n - 1)].0.clone()
+                }
+            })
+            .collect();
+
+        let epoch_counter = AtomicU64::new(0);
+        let mut shards = Vec::with_capacity(cfg.shards);
+        let mut at = 0usize;
+        for s in 0..cfg.shards {
+            // The last shard (no boundary above it) takes the remainder.
+            let end = match boundaries.get(s) {
+                Some(b) => sorted[at..].partition_point(|(k, _)| k < b) + at,
+                None => n,
+            };
+            let slice = &sorted[at..end];
+            at = end;
+
+            // Per-shard dictionary from an evenly spaced sample of the
+            // shard's own load.
+            let step = (slice.len() / cfg.reservoir_capacity.max(1)).max(1);
+            let sample: Vec<Vec<u8>> = slice.iter().step_by(step).map(|(k, _)| k.clone()).collect();
+            let hope = build_hope_for(&cfg, &sample)?;
+            let baseline_cpr = if sample.is_empty() {
+                stats::measure(&hope, &default_sample()).cpr()
+            } else {
+                stats::measure(&hope, &sample).cpr()
+            };
+            let entries: Vec<Entry> =
+                slice.iter().map(|(k, v)| Entry { key: k.as_slice().into(), value: *v }).collect();
+            let epoch = epoch_counter.fetch_add(1, Ordering::Relaxed) + 1;
+            let generation = Generation::build(
+                epoch,
+                hope,
+                baseline_cpr,
+                cfg.backend.new_index(),
+                entries,
+                cfg.batch_block,
+            );
+            shards.push(Shard::new(generation, cfg.reservoir_capacity, cfg.seed ^ (s as u64)));
+        }
+        Ok(HopeStore { cfg, boundaries, shards, epoch_counter })
+    }
+
+    /// The configuration this store was built with.
+    pub fn config(&self) -> &StoreConfig {
+        &self.cfg
+    }
+
+    /// Shard index responsible for `key`.
+    fn route(&self, key: &[u8]) -> usize {
+        self.boundaries.partition_point(|b| b.as_slice() <= key)
+    }
+
+    /// Which shard serves `key` (diagnostics; routing is internal).
+    pub fn shard_of(&self, key: &[u8]) -> usize {
+        self.route(key)
+    }
+
+    /// Epoch handle of one shard's current generation (diagnostics: lets
+    /// harnesses measure the live dictionary without racing a swap).
+    pub fn generation(&self, shard: usize) -> Arc<Generation> {
+        self.shards[shard].current()
+    }
+
+    /// Point lookup.
+    pub fn get(&self, key: &[u8]) -> Option<u64> {
+        self.shards[self.route(key)].get(key)
+    }
+
+    /// Insert or update; returns the previous value if the key existed.
+    pub fn insert(&self, key: Vec<u8>, value: u64) -> Option<u64> {
+        self.shards[self.route(&key)].insert(&key, value)
+    }
+
+    /// Bounded range query, inclusive on both ends: up to `limit`
+    /// `(key, value)` pairs in source-key order, possibly spanning shards.
+    pub fn range(&self, low: &[u8], high: &[u8], limit: usize) -> Vec<(Vec<u8>, u64)> {
+        if low > high || limit == 0 {
+            return Vec::new();
+        }
+        let (s0, s1) = (self.route(low), self.route(high));
+        let mut out = Vec::new();
+        for s in s0..=s1 {
+            let remaining = limit - out.len();
+            if remaining == 0 {
+                break;
+            }
+            out.extend(self.shards[s].range(low, high, remaining));
+        }
+        out
+    }
+
+    /// Total live keys across shards.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.current().len()).sum()
+    }
+
+    /// True if no shard holds any key.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Current epoch of every shard, in shard order.
+    pub fn epochs(&self) -> Vec<u64> {
+        self.shards.iter().map(|s| s.current().epoch()).collect()
+    }
+
+    /// One maintenance pass: every shard whose observed compression rate
+    /// has degraded past the threshold (or whose write log wants
+    /// compacting) gets its dictionary rebuilt from the reservoir sample
+    /// and hot-swapped. Returns a report per swap.
+    ///
+    /// Shards whose rebuild *fails* (a [`HopeError`] from the dictionary
+    /// pipeline) keep serving their current generation; the error is
+    /// returned alongside the successful swaps. Concurrent passes (a
+    /// [`Maintainer`] thread plus a direct call) never double-rebuild a
+    /// shard: the trigger is re-checked under the shard's rebuild lock.
+    pub fn maintain(&self) -> (Vec<SwapReport>, Vec<(usize, HopeError)>) {
+        let mut swaps = Vec::new();
+        let mut errors = Vec::new();
+        for (i, shard) in self.shards.iter().enumerate() {
+            if shard.needs_rebuild(&self.cfg) {
+                match shard.rebuild(i, &self.cfg, &self.epoch_counter, false) {
+                    Ok(Some(report)) => swaps.push(report),
+                    Ok(None) => {} // a concurrent pass already swapped it
+                    Err(e) => errors.push((i, e)),
+                }
+            }
+        }
+        (swaps, errors)
+    }
+
+    /// Unconditionally rebuild and swap one shard (testing/operations).
+    pub fn force_rebuild(&self, shard: usize) -> Result<SwapReport, HopeError> {
+        let report = self.shards[shard].rebuild(shard, &self.cfg, &self.epoch_counter, true)?;
+        Ok(report.expect("forced rebuild always swaps"))
+    }
+
+    /// Per-shard health snapshot.
+    pub fn stats(&self) -> Vec<ShardReport> {
+        self.shards
+            .iter()
+            .enumerate()
+            .map(|(i, s)| {
+                let g = s.current();
+                ShardReport {
+                    shard: i,
+                    epoch: g.epoch(),
+                    keys: g.len(),
+                    observed_cpr: s.observed_cpr(),
+                    baseline_cpr: g.baseline_cpr(),
+                    dict_bytes: g.hope().dict_memory_bytes(),
+                    index_bytes: g.memory_bytes(),
+                }
+            })
+            .collect()
+    }
+}
+
+/// Handle for a background maintenance thread; stops (and joins) the
+/// thread when dropped or on an explicit [`Maintainer::stop`].
+#[derive(Debug)]
+pub struct Maintainer {
+    stop: Arc<AtomicBool>,
+    handle: Option<std::thread::JoinHandle<()>>,
+    log: Arc<Mutex<MaintenanceLog>>,
+}
+
+/// Everything a [`Maintainer`] thread did: successful swaps and rebuild
+/// failures (shard id + error). Failed shards keep serving their current
+/// generation; the errors are surfaced here so operators can act.
+#[derive(Debug, Default, Clone)]
+pub struct MaintenanceLog {
+    /// Completed hot-swaps, in the order they happened.
+    pub swaps: Vec<SwapReport>,
+    /// Rebuild failures as `(shard, error)` pairs.
+    pub errors: Vec<(usize, HopeError)>,
+}
+
+impl Maintainer {
+    /// Spawn a thread that calls [`HopeStore::maintain`] every `interval`
+    /// until stopped, collecting swap reports and rebuild errors.
+    pub fn spawn(store: Arc<HopeStore>, interval: std::time::Duration) -> Maintainer {
+        let stop = Arc::new(AtomicBool::new(false));
+        let log = Arc::new(Mutex::new(MaintenanceLog::default()));
+        let (stop2, log2) = (Arc::clone(&stop), Arc::clone(&log));
+        let handle = std::thread::spawn(move || {
+            while !stop2.load(Ordering::Relaxed) {
+                let (reports, errors) = store.maintain();
+                if !reports.is_empty() || !errors.is_empty() {
+                    let mut log = log2.lock().unwrap();
+                    log.swaps.extend(reports);
+                    log.errors.extend(errors);
+                }
+                std::thread::sleep(interval);
+            }
+        });
+        Maintainer { stop, handle: Some(handle), log }
+    }
+
+    /// Stop the thread, join it, and return everything it did — swaps
+    /// *and* rebuild failures.
+    pub fn stop(mut self) -> MaintenanceLog {
+        self.shutdown();
+        std::mem::take(&mut *self.log.lock().unwrap())
+    }
+
+    fn shutdown(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for Maintainer {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_cfg() -> StoreConfig {
+        StoreConfig {
+            shards: 4,
+            reservoir_capacity: 256,
+            min_observed_bytes: 512,
+            ..StoreConfig::default()
+        }
+    }
+
+    fn load(n: u64) -> Vec<(Vec<u8>, u64)> {
+        (0..n).map(|i| (format!("com.gmail@user{i:05}").into_bytes(), i)).collect()
+    }
+
+    #[test]
+    fn build_get_insert_range_across_shards() {
+        let store = HopeStore::build(small_cfg(), load(2000)).unwrap();
+        assert_eq!(store.len(), 2000);
+        assert_eq!(store.epochs(), vec![1, 2, 3, 4]);
+        assert_eq!(store.get(b"com.gmail@user00123"), Some(123));
+        assert_eq!(store.get(b"com.gmail@missing"), None);
+        assert_eq!(store.insert(b"com.gmail@user00123".to_vec(), 9), Some(123));
+        assert_eq!(store.get(b"com.gmail@user00123"), Some(9));
+        // A range spanning every shard boundary.
+        let all = store.range(b"com.gmail@user00000", b"com.gmail@user01999", usize::MAX);
+        assert_eq!(all.len(), 2000);
+        assert!(all.windows(2).all(|w| w[0].0 < w[1].0), "range not sorted");
+        assert_eq!(store.range(b"com.gmail@user00500", b"com.gmail@user00504", 3).len(), 3);
+    }
+
+    #[test]
+    fn every_backend_serves_identically() {
+        let pairs = load(600);
+        for backend in [Backend::BTree, Backend::PrefixBTree, Backend::Art, Backend::BTreeMap] {
+            let cfg = StoreConfig { backend, ..small_cfg() };
+            let store = HopeStore::build(cfg, pairs.clone()).unwrap();
+            assert_eq!(store.get(b"com.gmail@user00042"), Some(42), "{backend:?}");
+            let r = store.range(b"com.gmail@user00010", b"com.gmail@user00013", 10);
+            assert_eq!(r.len(), 4, "{backend:?}");
+            assert_eq!(store.len(), 600, "{backend:?}");
+        }
+    }
+
+    #[test]
+    fn empty_store_works_and_accepts_inserts() {
+        let store = HopeStore::build(small_cfg(), Vec::new()).unwrap();
+        assert!(store.is_empty());
+        assert_eq!(store.get(b"anything"), None);
+        assert!(store.range(b"a", b"z", 10).is_empty());
+        store.insert(b"k1".to_vec(), 1);
+        store.insert(b"zz".to_vec(), 2);
+        assert_eq!(store.get(b"k1"), Some(1));
+        assert_eq!(store.len(), 2);
+        let r = store.range(b"a", b"zz", 10);
+        assert_eq!(r.len(), 2);
+    }
+
+    #[test]
+    fn forced_swap_preserves_contents_and_bumps_epoch() {
+        let store = HopeStore::build(small_cfg(), load(800)).unwrap();
+        store.insert(b"org.acm@drift".to_vec(), 7777);
+        let shard = store.route(b"org.acm@drift");
+        let before = store.epochs();
+        let report = store.force_rebuild(shard).unwrap();
+        assert_eq!(report.old_epoch, before[shard]);
+        assert!(report.new_epoch > before[shard]);
+        assert_eq!(store.get(b"org.acm@drift"), Some(7777));
+        assert_eq!(store.len(), 801);
+        for i in (0..800).step_by(97) {
+            let k = format!("com.gmail@user{i:05}");
+            assert_eq!(store.get(k.as_bytes()), Some(i), "{k}");
+        }
+    }
+
+    #[test]
+    fn maintain_triggers_only_after_drift() {
+        let cfg = StoreConfig { shards: 1, min_observed_bytes: 2048, ..StoreConfig::default() };
+        let store = HopeStore::build(cfg, load(1500)).unwrap();
+        // Matching traffic (a continuation of the loaded population): no swap.
+        for i in 0..200u64 {
+            store.insert(format!("com.gmail@user{:05}", 1500 + i).into_bytes(), 1500 + i);
+        }
+        let (swaps, errors) = store.maintain();
+        assert!(errors.is_empty());
+        assert!(swaps.is_empty(), "stable traffic must not trigger a swap");
+        // Radically different traffic: CPR collapses, swap fires.
+        for i in 0..600u64 {
+            store.insert(format!("XQ#{i:)>6}!!zw|{i:x}").into_bytes(), i);
+        }
+        let (swaps, errors) = store.maintain();
+        assert!(errors.is_empty());
+        assert_eq!(swaps.len(), 1, "drifted traffic must trigger the swap");
+        let r = &swaps[0];
+        assert!(r.new_epoch > r.old_epoch);
+        assert!(r.new_baseline_cpr > 0.0, "new dictionary must have a baseline");
+        assert_eq!(store.len(), 1500 + 200 + 600);
+        assert_eq!(store.get(b"com.gmail@user00003"), Some(3));
+    }
+
+    #[test]
+    fn update_heavy_stable_traffic_compacts_the_log() {
+        let cfg = StoreConfig { shards: 1, ..StoreConfig::default() };
+        let store = HopeStore::build(cfg, load(100)).unwrap();
+        // Stable distribution, pure updates: CPR never degrades, but the
+        // append-only log fills with superseded entries.
+        for round in 1..=51u64 {
+            for i in 0..100u64 {
+                store.insert(format!("com.gmail@user{i:05}").into_bytes(), round * 1000 + i);
+            }
+        }
+        let (swaps, errors) = store.maintain();
+        assert!(errors.is_empty());
+        assert_eq!(swaps.len(), 1, "log garbage should trigger a compacting swap");
+        assert_eq!(store.len(), 100);
+        assert_eq!(store.get(b"com.gmail@user00007"), Some(51_000 + 7));
+        // The swap compacted the log back to the live set.
+        let (live, log) = (store.generation(0).len(), store.generation(0).memory_bytes());
+        assert_eq!(live, 100);
+        assert!(log > 0);
+    }
+
+    #[test]
+    fn maintainer_thread_runs_and_stops() {
+        let store = Arc::new(HopeStore::build(small_cfg(), load(400)).unwrap());
+        let m = Maintainer::spawn(Arc::clone(&store), std::time::Duration::from_millis(1));
+        std::thread::sleep(std::time::Duration::from_millis(10));
+        let log = m.stop();
+        // Stable traffic: the thread ran but had nothing to do.
+        assert!(log.swaps.is_empty());
+        assert!(log.errors.is_empty());
+        assert_eq!(store.len(), 400);
+    }
+}

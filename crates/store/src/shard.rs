@@ -1,0 +1,250 @@
+//! One shard: an epoch handle over the current [`Generation`], live drift
+//! statistics, and the rebuild/swap machinery.
+//!
+//! ## Concurrency protocol
+//!
+//! * **Readers** (`get`/`range`) clone the `Arc<Generation>` out of the
+//!   epoch slot (a short `RwLock` read) and run against that generation —
+//!   they never block on writers or on a rebuild, and a reader holding a
+//!   superseded generation drains gracefully because the `Arc` keeps it
+//!   alive.
+//! * **Writers** (`insert`) serialize on the shard's writer mutex, then
+//!   mutate the current generation through its interior lock.
+//! * **Rebuild** does the expensive work — dictionary build, Hu-Tucker,
+//!   re-encoding the live keys — with *no* locks held; writers contend
+//!   only with the initial snapshot clone (a data read-lock hold) and the
+//!   final splice (writer mutex: replay the log tail, flip the epoch
+//!   slot). Lock order is always `writer → epoch slot → generation data`,
+//!   so the protocol is deadlock-free.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, RwLock};
+
+use hope::stats;
+use hope::HopeError;
+
+use crate::generation::{Entry, Generation};
+use crate::{StoreConfig, SwapReport};
+
+/// Uniform reservoir sample (algorithm R) over the keys inserted since the
+/// current generation was installed; reset at every swap so the sample
+/// tracks the *current* traffic mix rather than the whole shard lifetime.
+#[derive(Debug)]
+pub(crate) struct Reservoir {
+    keys: Vec<Vec<u8>>,
+    cap: usize,
+    seen: u64,
+    state: u64,
+}
+
+impl Reservoir {
+    pub(crate) fn new(cap: usize, seed: u64) -> Self {
+        Reservoir { keys: Vec::new(), cap: cap.max(1), seen: 0, state: seed | 1 }
+    }
+
+    fn next_rand(&mut self) -> u64 {
+        // SplitMix64; good enough for sampling decisions.
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn offer(&mut self, key: &[u8]) {
+        self.seen += 1;
+        if self.keys.len() < self.cap {
+            self.keys.push(key.to_vec());
+        } else {
+            let j = self.next_rand() % self.seen;
+            if (j as usize) < self.cap {
+                self.keys[j as usize] = key.to_vec();
+            }
+        }
+    }
+
+    fn reset(&mut self) {
+        self.keys.clear();
+        self.seen = 0;
+    }
+}
+
+/// One partition of the store's key space.
+#[derive(Debug)]
+pub(crate) struct Shard {
+    /// The epoch slot: the current generation, swapped atomically.
+    gen: RwLock<Arc<Generation>>,
+    /// Serializes writers against each other and against the swap splice.
+    writer: Mutex<()>,
+    /// Serializes whole rebuilds: two overlapping rebuilds could otherwise
+    /// both snapshot the same generation and the later flip would drop the
+    /// earlier one's replayed writes.
+    rebuilding: Mutex<()>,
+    /// Source bytes encoded by inserts since the current generation.
+    obs_src: AtomicU64,
+    /// Padded encoded bytes produced by those inserts.
+    obs_enc: AtomicU64,
+    /// Traffic sample feeding the next dictionary rebuild.
+    reservoir: Mutex<Reservoir>,
+}
+
+impl Shard {
+    pub(crate) fn new(generation: Generation, reservoir_capacity: usize, seed: u64) -> Self {
+        Shard {
+            gen: RwLock::new(Arc::new(generation)),
+            writer: Mutex::new(()),
+            rebuilding: Mutex::new(()),
+            obs_src: AtomicU64::new(0),
+            obs_enc: AtomicU64::new(0),
+            reservoir: Mutex::new(Reservoir::new(reservoir_capacity, seed)),
+        }
+    }
+
+    /// Clone the current generation out of the epoch slot.
+    pub(crate) fn current(&self) -> Arc<Generation> {
+        Arc::clone(&self.gen.read().unwrap())
+    }
+
+    pub(crate) fn get(&self, key: &[u8]) -> Option<u64> {
+        self.current().get(key)
+    }
+
+    pub(crate) fn range(&self, low: &[u8], high: &[u8], limit: usize) -> Vec<(Vec<u8>, u64)> {
+        self.current().range(low, high, limit)
+    }
+
+    pub(crate) fn insert(&self, key: &[u8], value: u64) -> Option<u64> {
+        let _w = self.writer.lock().unwrap();
+        let generation = self.current();
+        let (old, footprint) = generation.insert(key, value);
+        self.obs_src.fetch_add(footprint.src_bytes, Ordering::Relaxed);
+        self.obs_enc.fetch_add(footprint.enc_bytes, Ordering::Relaxed);
+        self.reservoir.lock().unwrap().offer(key);
+        old
+    }
+
+    /// CPR observed on the insert traffic of the current generation, or
+    /// `None` until any insert has been encoded.
+    pub(crate) fn observed_cpr(&self) -> Option<f64> {
+        let enc = self.obs_enc.load(Ordering::Relaxed);
+        let src = self.obs_src.load(Ordering::Relaxed);
+        (enc > 0).then(|| src as f64 / enc as f64)
+    }
+
+    /// Observed source bytes since the current generation.
+    pub(crate) fn observed_src_bytes(&self) -> u64 {
+        self.obs_src.load(Ordering::Relaxed)
+    }
+
+    /// True when the shard should retrain: either the observed CPR has
+    /// degraded past the configured fraction of the generation's
+    /// build-time baseline (after enough traffic to judge), or the
+    /// append-only write log has accumulated enough dead entries that a
+    /// compacting rebuild pays for itself even with a stable distribution.
+    pub(crate) fn needs_rebuild(&self, cfg: &StoreConfig) -> bool {
+        let generation = self.current();
+        let (live, log) = generation.occupancy();
+        if log > live.saturating_mul(4) + 4096 {
+            return true; // update-heavy stable traffic: compact the log
+        }
+        if self.observed_src_bytes() < cfg.min_observed_bytes {
+            return false;
+        }
+        match self.observed_cpr() {
+            Some(cpr) => cpr < cfg.degrade_ratio * generation.baseline_cpr(),
+            None => false,
+        }
+    }
+
+    /// Build a new generation from the reservoir sample and hot-swap it
+    /// into the epoch slot. Readers keep serving the old generation until
+    /// the flip and never block. Writers are paused twice: during the
+    /// snapshot clone (it holds the generation's data read lock) and
+    /// during the replay+flip splice; the expensive dictionary build and
+    /// re-encode in between run with no locks held.
+    ///
+    /// Unless `force`d, the trigger is re-checked once the rebuild lock is
+    /// held: a concurrent maintenance pass may have just swapped this
+    /// shard (resetting its statistics and reservoir), in which case a
+    /// second back-to-back rebuild would only churn the epoch. Returns
+    /// `Ok(None)` when the rebuild was skipped for that reason.
+    pub(crate) fn rebuild(
+        &self,
+        shard_id: usize,
+        cfg: &StoreConfig,
+        epoch_counter: &AtomicU64,
+        force: bool,
+    ) -> Result<Option<SwapReport>, HopeError> {
+        let _r = self.rebuilding.lock().unwrap();
+        if !force && !self.needs_rebuild(cfg) {
+            return Ok(None);
+        }
+        let old = self.current();
+        let (live, watermark) = old.snapshot_live();
+
+        // Sample = reservoir (recent traffic), topped up with resident
+        // keys when traffic alone is too thin to train a dictionary.
+        let mut sample: Vec<Vec<u8>> = self.reservoir.lock().unwrap().keys.clone();
+        if sample.len() < cfg.reservoir_capacity {
+            let need = cfg.reservoir_capacity - sample.len();
+            let step = (live.len() / need.max(1)).max(1);
+            sample.extend(live.iter().step_by(step).map(|e| e.key.to_vec()));
+        }
+
+        let hope = crate::build_hope_for(cfg, &sample)?;
+        let baseline_cpr = stats::measure(&hope, &sample).cpr();
+        let epoch = epoch_counter.fetch_add(1, Ordering::Relaxed) + 1;
+        let live_keys = live.len();
+        let next = Generation::build(
+            epoch,
+            hope,
+            baseline_cpr,
+            cfg.backend.new_index(),
+            live,
+            cfg.batch_block,
+        );
+
+        // Splice: block writers, replay their log tail, flip the epoch.
+        let _w = self.writer.lock().unwrap();
+        let delta = old.entries_since(watermark);
+        let replayed = delta.len();
+        for Entry { key, value } in delta {
+            next.insert(&key, value);
+        }
+        let report = SwapReport {
+            shard: shard_id,
+            old_epoch: old.epoch(),
+            new_epoch: epoch,
+            observed_cpr: self.observed_cpr(),
+            old_baseline_cpr: old.baseline_cpr(),
+            new_baseline_cpr: baseline_cpr,
+            live_keys,
+            replayed,
+        };
+        *self.gen.write().unwrap() = Arc::new(next);
+        self.obs_src.store(0, Ordering::Relaxed);
+        self.obs_enc.store(0, Ordering::Relaxed);
+        self.reservoir.lock().unwrap().reset();
+        Ok(Some(report))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reservoir_is_bounded_and_uniformish() {
+        let mut r = Reservoir::new(64, 1);
+        for i in 0..10_000u32 {
+            r.offer(format!("key{i:05}").as_bytes());
+        }
+        assert_eq!(r.keys.len(), 64);
+        assert_eq!(r.seen, 10_000);
+        // Late keys must be able to displace early ones.
+        let late = r.keys.iter().filter(|k| k.as_slice() >= b"key05000".as_slice()).count();
+        assert!(late > 10, "late keys under-represented: {late}/64");
+        r.reset();
+        assert!(r.keys.is_empty());
+    }
+}

@@ -18,10 +18,12 @@
 #![deny(unsafe_code)]
 
 pub mod gen;
+pub mod traffic;
 pub mod ycsb;
 pub mod zipf;
 
 pub use gen::{generate, generate_email_split, Dataset};
+pub use traffic::{MixedWorkload, StoreOp, TrafficSpec};
 pub use ycsb::{Op, WorkloadSpec, YcsbWorkload};
 pub use zipf::ScrambledZipf;
 

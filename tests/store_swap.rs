@@ -1,0 +1,216 @@
+//! Integration suite for the `hope_store` dictionary hot-swap: the store
+//! must be indistinguishable from an uncompressed ordered map before,
+//! during, and after a swap — including under concurrent readers while a
+//! generation is being replaced.
+//!
+//! Sizes scale up in `--release` (CI runs this suite in both profiles;
+//! the release run is the stress configuration).
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use hope::Scheme;
+use hope_store::{Backend, HopeStore, StoreConfig};
+use hope_workloads::{MixedWorkload, StoreOp, TrafficSpec};
+use proptest::prelude::*;
+
+fn email_pairs(n: u64) -> Vec<(Vec<u8>, u64)> {
+    (0..n).map(|i| (format!("com.gmail@user{i:06}").into_bytes(), i)).collect()
+}
+
+/// Deterministic end-to-end: load, drift, swap, and compare the full
+/// contents and a spread of ranges against the shadow map.
+#[test]
+fn swap_preserves_gets_and_ranges_exactly() {
+    let cfg = StoreConfig { shards: 3, min_observed_bytes: 1024, ..StoreConfig::default() };
+    let store = HopeStore::build(cfg, email_pairs(3_000)).unwrap();
+    let mut shadow: BTreeMap<Vec<u8>, u64> = email_pairs(3_000).into_iter().collect();
+    let epochs_before = store.epochs();
+
+    // Drift: traffic the build sample never saw.
+    for i in 0..1_500u64 {
+        let k = format!("ru.yandex/{i:x}/box{i:05}").into_bytes();
+        assert_eq!(store.insert(k.clone(), i), shadow.insert(k, i));
+    }
+    let (swaps, errors) = store.maintain();
+    assert!(errors.is_empty(), "{errors:?}");
+    assert!(!swaps.is_empty(), "drift should have triggered at least one swap");
+    assert!(store.epochs().iter().zip(&epochs_before).any(|(a, b)| a > b));
+
+    // Every key, point-queried.
+    for (k, v) in &shadow {
+        assert_eq!(store.get(k), Some(*v));
+    }
+    // Ranges spanning shard boundaries and both populations.
+    let probes: Vec<&[u8]> =
+        vec![b"com.gmail@user000000", b"com.gmail@user001499", b"ru.yandex/", b"", b"zzz"];
+    for low in &probes {
+        for high in &probes {
+            for limit in [1usize, 7, 100, usize::MAX] {
+                let got = store.range(low, high, limit);
+                let want: Vec<(Vec<u8>, u64)> = if low > high {
+                    Vec::new() // BTreeMap::range panics on inverted bounds
+                } else {
+                    shadow
+                        .range(low.to_vec()..=high.to_vec())
+                        .take(limit)
+                        .map(|(k, v)| (k.clone(), *v))
+                        .collect()
+                };
+                assert_eq!(got, want, "range {low:?}..={high:?} limit {limit}");
+            }
+        }
+    }
+}
+
+// The swap is exact for *arbitrary byte keys* — including the
+// padded-byte tie corner — because generations re-check source keys.
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+    #[test]
+    fn store_matches_btreemap_across_forced_swaps(
+        ops in proptest::collection::vec(
+            (proptest::collection::vec(any::<u8>(), 0..20), any::<u64>()), 2..120),
+        probes in proptest::collection::vec(
+            proptest::collection::vec(any::<u8>(), 0..20), 0..24),
+    ) {
+        let cfg = StoreConfig {
+            shards: 2,
+            scheme: Scheme::ThreeGrams,
+            dict_entries: 512,
+            backend: Backend::Art,
+            min_observed_bytes: u64::MAX, // only explicit swaps
+            ..StoreConfig::default()
+        };
+        let (load, live) = ops.split_at(ops.len() / 2);
+        let store = HopeStore::build(cfg, load.to_vec()).unwrap();
+        let mut model: BTreeMap<Vec<u8>, u64> = load.iter().cloned().collect();
+        for (i, (k, v)) in live.iter().enumerate() {
+            prop_assert_eq!(store.insert(k.clone(), *v), model.insert(k.clone(), *v));
+            if i % 13 == 5 {
+                store.force_rebuild(i % 2).unwrap();
+            }
+        }
+        store.force_rebuild(0).unwrap();
+        prop_assert_eq!(store.len(), model.len());
+        for (k, v) in &model {
+            prop_assert_eq!(store.get(k), Some(*v), "lost {:?}", k);
+        }
+        for p in &probes {
+            prop_assert_eq!(store.get(p), model.get(p).copied());
+        }
+        for pair in probes.chunks(2) {
+            if let [a, b] = pair {
+                let (low, high) = if a <= b { (a, b) } else { (b, a) };
+                let got = store.range(low, high, 16);
+                let want: Vec<(Vec<u8>, u64)> = model
+                    .range(low.clone()..=high.clone())
+                    .take(16)
+                    .map(|(k, v)| (k.clone(), *v))
+                    .collect();
+                prop_assert_eq!(got, want, "range {:?}..={:?}", low, high);
+            }
+        }
+    }
+}
+
+/// The headline concurrency property: reader threads hammer the loaded
+/// keys with point and range queries while the main thread applies
+/// shifting write traffic and hot-swaps every shard mid-stream. No reader
+/// may ever observe a wrong answer — before, during, or after the swaps.
+#[test]
+fn hot_swap_under_concurrent_readers() {
+    let (n_initial, n_ops) = if cfg!(debug_assertions) { (2_000, 2_000) } else { (20_000, 30_000) };
+    let workload = MixedWorkload::generate(n_initial, n_ops, TrafficSpec::default(), 0xFEED);
+    let cfg = StoreConfig { min_observed_bytes: 4096, ..StoreConfig::default() };
+    let initial: Vec<(Vec<u8>, u64)> =
+        workload.initial.iter().enumerate().map(|(i, k)| (k.clone(), i as u64)).collect();
+    let store = Arc::new(HopeStore::build(cfg, initial.clone()).unwrap());
+    let mut shadow: BTreeMap<Vec<u8>, u64> = initial.clone().into_iter().collect();
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let frozen = Arc::new(initial);
+    let readers: Vec<_> = (0..3)
+        .map(|t| {
+            let (store, stop, frozen) =
+                (Arc::clone(&store), Arc::clone(&stop), Arc::clone(&frozen));
+            std::thread::spawn(move || {
+                let mut checks = 0u64;
+                let mut i = t * 131;
+                while !stop.load(Ordering::Relaxed) {
+                    let (k, v) = &frozen[i % frozen.len()];
+                    assert_eq!(store.get(k), Some(*v), "wrong point result for {k:?}");
+                    match i % 3 {
+                        0 => {
+                            // Exact single-key range.
+                            assert_eq!(store.range(k, k, 2), vec![(k.clone(), *v)]);
+                        }
+                        1 => {
+                            // Open-ended range: the anchor key must lead it
+                            // even while writers add keys above.
+                            let mut high = k.clone();
+                            high.push(0xFF);
+                            let got = store.range(k, &high, 8);
+                            assert_eq!(got.first(), Some(&(k.clone(), *v)));
+                            assert!(got.windows(2).all(|w| w[0].0 < w[1].0), "unsorted range");
+                            assert!(got.iter().all(|(rk, _)| rk >= k && rk <= &high));
+                        }
+                        _ => {}
+                    }
+                    checks += 1;
+                    i += 1;
+                }
+                checks
+            })
+        })
+        .collect();
+
+    // Apply the shifting traffic; force a swap of every shard mid-stream
+    // (on top of whatever drift-triggered swaps maintenance performs).
+    let force_at = workload.shift_at + (n_ops - workload.shift_at) / 2;
+    let epochs_start = store.epochs();
+    for (i, op) in workload.ops.iter().enumerate() {
+        match op {
+            StoreOp::Get(k) => {
+                assert_eq!(store.get(k), shadow.get(k).copied());
+            }
+            StoreOp::Insert(k, v) => {
+                assert_eq!(store.insert(k.clone(), *v), shadow.insert(k.clone(), *v));
+            }
+            StoreOp::Scan(low, high, limit) => {
+                let got = store.range(low, high, *limit);
+                let want: Vec<(Vec<u8>, u64)> = shadow
+                    .range(low.clone()..=high.clone())
+                    .take(*limit)
+                    .map(|(k, v)| (k.clone(), *v))
+                    .collect();
+                assert_eq!(got, want);
+            }
+        }
+        if i == force_at {
+            for s in 0..store.config().shards {
+                store.force_rebuild(s).unwrap();
+            }
+        }
+        if (i + 1) % (n_ops / 10).max(1) == 0 {
+            let (_, errors) = store.maintain();
+            assert!(errors.is_empty(), "{errors:?}");
+        }
+    }
+    stop.store(true, Ordering::Relaxed);
+    let checks: u64 = readers.into_iter().map(|r| r.join().expect("reader failed")).sum();
+    assert!(checks > 0, "readers never ran");
+
+    // Every shard flipped its epoch at least once while readers were live.
+    let epochs_end = store.epochs();
+    assert!(
+        epochs_end.iter().zip(&epochs_start).all(|(a, b)| a > b),
+        "not every shard swapped: {epochs_start:?} -> {epochs_end:?}"
+    );
+    // Full post-swap verification.
+    assert_eq!(store.len(), shadow.len());
+    for (k, v) in &shadow {
+        assert_eq!(store.get(k), Some(*v));
+    }
+}

@@ -6,11 +6,13 @@
 
 use hope::{HopeBuilder, Scheme};
 use hope_btree::BPlusTree;
+use hope_store::{HopeStore, StoreConfig};
 use hope_surf::{SuffixKind, Surf};
-use hope_workloads::{generate, sample_keys, Dataset};
+use hope_workloads::{generate, generate_email_split, sample_keys, Dataset};
 
-/// The four demo examples this workspace ships.
-const EXAMPLES: [&str; 4] = ["quickstart", "email_index", "range_filter", "compression_explorer"];
+/// The five demo examples this workspace ships.
+const EXAMPLES: [&str; 5] =
+    ["quickstart", "email_index", "range_filter", "compression_explorer", "store_serving"];
 
 #[test]
 fn all_examples_are_present() {
@@ -112,6 +114,31 @@ fn range_filter_path() {
     // FPR sanity only — rejections must be truly absent.
     let fp = absent.iter().filter(|k| surf.contains(&hope.encode(k).into_bytes())).count();
     assert!(fp < absent.len(), "filter accepts everything");
+}
+
+/// `examples/store_serving.rs` in miniature: a sharded store over Email-A
+/// keys takes drifting Email-B writes, hot-swaps its dictionaries, and
+/// keeps serving every key correctly.
+#[test]
+fn store_serving_path() {
+    let (email_a, email_b) = generate_email_split(8_000, 42);
+    let load: Vec<(Vec<u8>, u64)> =
+        email_a.iter().take(1_500).enumerate().map(|(i, k)| (k.clone(), i as u64)).collect();
+    let cfg = StoreConfig { min_observed_bytes: 2048, ..StoreConfig::default() };
+    let store = HopeStore::build(cfg, load.clone()).expect("store build");
+    assert_eq!(store.get(&load[7].0), Some(7));
+
+    for (i, k) in email_b.iter().take(1_500).enumerate() {
+        store.insert(k.clone(), i as u64);
+    }
+    let (swaps, errors) = store.maintain();
+    assert!(errors.is_empty(), "{errors:?}");
+    assert!(!swaps.is_empty(), "drift should trigger a swap");
+    assert_eq!(store.get(&load[7].0), Some(7));
+    assert_eq!(store.len(), 3_000);
+    let all = store.range(b"", b"\xff\xff\xff", usize::MAX);
+    assert_eq!(all.len(), 3_000);
+    assert!(all.windows(2).all(|w| w[0].0 < w[1].0));
 }
 
 /// `examples/compression_explorer.rs` in miniature: every scheme builds on
