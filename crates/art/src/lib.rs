@@ -1,4 +1,4 @@
-//! # hope-art — Adaptive Radix Tree substrate
+//! # hope_art — Adaptive Radix Tree substrate
 //!
 //! A from-scratch ART (Leis et al., ICDE 2013) — the default index of
 //! HyPer and one of the five search trees the HOPE paper evaluates on.

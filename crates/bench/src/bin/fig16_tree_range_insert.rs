@@ -56,8 +56,8 @@ fn main() {
                         }
                         Op::Insert(idx) => {
                             let ((), d) = time(|| {
-                                let k = prep.encode_query(&keys[*idx]);
-                                tree.insert(&k, *idx as u64);
+                                let k = prep.encode_query_scratch(&keys[*idx], &mut scratch);
+                                tree.insert(k, *idx as u64);
                             });
                             insert_time += d;
                             inserts += 1;

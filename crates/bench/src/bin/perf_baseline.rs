@@ -1,0 +1,181 @@
+//! `perf_baseline` — the repo's recorded encode-performance trajectory.
+//!
+//! Runs the fig8-style encode microbench across all six schemes on the
+//! Email corpus and times three implementations of the per-key encode hot
+//! path:
+//!
+//! * **generic-alloc** — the hot path as it existed before the fused
+//!   fast path: generic dictionary walk plus a fresh `EncodedKey`
+//!   allocation per call ([`hope::Encoder::encode_generic`]);
+//! * **generic-reuse** — the generic walk into a reused writer
+//!   (isolates the dictionary-lookup cost from the allocation cost);
+//! * **fast** — the shipped hot path: [`hope::Hope::encode_to`] with a
+//!   reused scratch, taking the fused code table where the scheme has one.
+//!
+//! Results are written to `BENCH_encode.json` (override with `--out
+//! PATH`), giving future PRs a perf point to hold themselves to; see
+//! DESIGN.md "Performance guide" for how to read the file. The binary
+//! exits non-zero when the Single-Char fast path fails the headline
+//! target (≥ 2× the generic-alloc path).
+//!
+//! Usage: `cargo run --release -p hope_bench --bin perf_baseline
+//!         [-- --keys N --quick --out BENCH_encode.json]`
+
+use std::hint::black_box;
+
+use hope::{EncodeScratch, Hope, Scheme};
+use hope_bench::{build_hope, load_dataset, ns_per_op, time, BenchConfig};
+use hope_workloads::Dataset;
+
+/// Headline target: fast-path Single-Char encode throughput vs the
+/// generic allocating walk.
+const TARGET_SPEEDUP: f64 = 2.0;
+
+/// Median-of-3 nanoseconds per source char for one encode loop.
+fn measure(chars: usize, mut run: impl FnMut() -> usize) -> f64 {
+    let mut runs: Vec<f64> = (0..3)
+        .map(|_| {
+            let (bits, d) = time(&mut run);
+            assert!(black_box(bits) > 0 || chars == 0);
+            ns_per_op(d, chars)
+        })
+        .collect();
+    runs.sort_by(f64::total_cmp);
+    runs[1]
+}
+
+struct SchemeRow {
+    scheme: &'static str,
+    dict_entries: usize,
+    fast_path: bool,
+    cpr: f64,
+    generic_alloc: f64,
+    generic_reuse: f64,
+    fast: f64,
+    dict_kb: f64,
+}
+
+fn bench_scheme(hope: &Hope, keys: &[Vec<u8>]) -> (f64, f64, f64) {
+    let chars: usize = keys.iter().map(|k| k.len()).sum();
+    let enc = hope.encoder();
+
+    let generic_alloc =
+        measure(chars, || keys.iter().map(|k| enc.encode_generic(k).bit_len()).sum());
+
+    let mut w = hope::bitpack::BitWriter::new();
+    let mut buf = Vec::new();
+    let generic_reuse = measure(chars, || {
+        let mut bits = 0usize;
+        for k in keys {
+            enc.encode_generic_into(k, &mut w);
+            bits += w.finish_into(&mut buf);
+        }
+        bits
+    });
+
+    let mut scratch = EncodeScratch::new();
+    let fast = measure(chars, || {
+        let mut bits = 0usize;
+        for k in keys {
+            hope.encode_to(k, &mut scratch);
+            bits += scratch.bit_len();
+        }
+        bits
+    });
+
+    (generic_alloc, generic_reuse, fast)
+}
+
+fn main() {
+    let cfg = BenchConfig::from_args();
+    let out_path = cfg
+        .flags
+        .iter()
+        .position(|f| f == "--out")
+        .and_then(|i| cfg.flags.get(i + 1).cloned())
+        .unwrap_or_else(|| "BENCH_encode.json".to_string());
+
+    let keys = load_dataset(Dataset::Email, &cfg);
+    let sample = cfg.sample(&keys);
+
+    println!("# perf_baseline: encode hot-path trajectory (email, {} keys)", keys.len());
+    println!(
+        "{:14} {:>9} {:>6} {:>14} {:>14} {:>10} {:>9}",
+        "scheme", "dict", "fast?", "generic-alloc", "generic-reuse", "fast", "speedup"
+    );
+
+    let mut rows: Vec<SchemeRow> = Vec::new();
+    for scheme in Scheme::ALL {
+        let target = scheme.fixed_dict_size().unwrap_or(1 << 16);
+        let hope = build_hope(scheme, target, &sample);
+        let st = hope::stats::measure(&hope, &keys);
+        let (generic_alloc, generic_reuse, fast) = bench_scheme(&hope, &keys);
+        let row = SchemeRow {
+            scheme: scheme.name(),
+            dict_entries: hope.dict_entries(),
+            fast_path: hope.encoder().fast().is_some(),
+            cpr: st.cpr(),
+            generic_alloc,
+            generic_reuse,
+            fast,
+            dict_kb: hope.dict_memory_bytes() as f64 / 1024.0,
+        };
+        println!(
+            "{:14} {:>9} {:>6} {:>11.2}ns {:>11.2}ns {:>7.2}ns {:>8.2}x",
+            row.scheme,
+            row.dict_entries,
+            if row.fast_path { "yes" } else { "no" },
+            row.generic_alloc,
+            row.generic_reuse,
+            row.fast,
+            row.generic_alloc / row.fast,
+        );
+        rows.push(row);
+    }
+
+    let single = rows.iter().find(|r| r.scheme == "Single-Char").expect("single-char row");
+    let speedup = single.generic_alloc / single.fast;
+    let pass = speedup >= TARGET_SPEEDUP;
+
+    write_json(&out_path, &cfg, &rows, speedup, pass);
+    println!("# wrote {out_path}");
+    println!(
+        "# single-char fast-path speedup: {speedup:.2}x (target >= {TARGET_SPEEDUP:.1}x) — {}",
+        if pass { "PASS" } else { "FAIL" }
+    );
+    if !pass {
+        std::process::exit(1);
+    }
+}
+
+/// Hand-rolled JSON writer (the workspace builds offline; no serde).
+fn write_json(path: &str, cfg: &BenchConfig, rows: &[SchemeRow], speedup: f64, pass: bool) {
+    let mut s = String::new();
+    s.push_str("{\n");
+    s.push_str("  \"bench\": \"perf_baseline\",\n  \"dataset\": \"email\",\n");
+    s.push_str(&format!("  \"keys\": {},\n  \"seed\": {},\n", cfg.keys, cfg.seed));
+    s.push_str(&format!("  \"quick\": {},\n", cfg.quick));
+    s.push_str(&format!("  \"target_single_char_speedup\": {TARGET_SPEEDUP},\n"));
+    s.push_str(&format!("  \"single_char_speedup\": {speedup:.4},\n"));
+    s.push_str(&format!("  \"pass\": {pass},\n"));
+    s.push_str("  \"units\": \"ns_per_source_char\",\n  \"schemes\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        s.push_str(&format!(
+            "    {{\"scheme\": \"{}\", \"dict_entries\": {}, \"fast_path\": {}, \
+             \"cpr\": {:.4}, \"generic_alloc\": {:.4}, \"generic_reuse\": {:.4}, \
+             \"fast\": {:.4}, \"speedup_vs_generic_alloc\": {:.4}, \"dict_kb\": {:.1}}}{}\n",
+            r.scheme,
+            r.dict_entries,
+            r.fast_path,
+            r.cpr,
+            r.generic_alloc,
+            r.generic_reuse,
+            r.fast,
+            r.generic_alloc / r.fast,
+            r.dict_kb,
+            if i + 1 < rows.len() { "," } else { "" },
+        ));
+    }
+    s.push_str("  ]\n}\n");
+    std::fs::write(path, s).expect("write BENCH_encode.json");
+}

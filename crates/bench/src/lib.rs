@@ -276,7 +276,8 @@ impl PreparedKeys {
     }
 
     /// Allocation-free query encoding: returns the encoded bytes from the
-    /// scratch buffer, or the key itself when uncompressed.
+    /// scratch buffer, or the key itself when uncompressed. Compressed
+    /// keys take the fused fast path when the scheme has one.
     #[inline]
     pub fn encode_query_scratch<'a>(
         &self,
@@ -284,11 +285,7 @@ impl PreparedKeys {
         scratch: &'a mut QueryScratch,
     ) -> &'a [u8] {
         match &self.hope {
-            Some(h) => {
-                h.encoder().encode_into(key, &mut scratch.writer);
-                scratch.writer.finish_into(&mut scratch.buf);
-                &scratch.buf
-            }
+            Some(h) => h.encode_to(key, &mut scratch.0),
             None => key,
         }
     }
@@ -299,12 +296,10 @@ impl PreparedKeys {
     }
 }
 
-/// Reusable buffers for [`PreparedKeys::encode_query_scratch`].
+/// Reusable buffers for [`PreparedKeys::encode_query_scratch`] — a thin
+/// wrapper over the core [`hope::EncodeScratch`].
 #[derive(Debug, Default)]
-pub struct QueryScratch {
-    writer: hope::bitpack::BitWriter,
-    buf: Vec<u8>,
-}
+pub struct QueryScratch(hope::EncodeScratch);
 
 #[cfg(test)]
 mod tests {

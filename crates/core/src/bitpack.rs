@@ -3,6 +3,25 @@
 //!
 //! Codes are kept in 64-bit buffers; appending a code is a shift, an OR, and
 //! an occasional spill into the output vector — a few cycles per code.
+//!
+//! [`BitWriter`] is the reusable staging buffer every encode path appends
+//! into. Hot paths keep one alive and drain it with
+//! [`BitWriter::finish_into`], which hands back the padded bytes without
+//! giving up the allocation:
+//!
+//! ```
+//! use hope::bitpack::{BitWriter, Code};
+//!
+//! let mut w = BitWriter::new();
+//! let mut buf = Vec::new();
+//! for key in [&b"ab"[..], b"ba"] {
+//!     for &b in key {
+//!         w.put(Code::new(b as u64, 8));
+//!     }
+//!     let bits = w.finish_into(&mut buf); // writer reset, allocation kept
+//!     assert_eq!((buf.as_slice(), bits), (key, 16));
+//! }
+//! ```
 
 /// A prefix code: up to 64 bits, stored right-aligned in `bits`.
 ///

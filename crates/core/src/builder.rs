@@ -160,9 +160,28 @@ impl Hope {
     }
 
     /// Encode one key (order-preserving, lossless).
+    ///
+    /// Allocates a fresh [`EncodedKey`]; query loops should prefer
+    /// [`Hope::encode_to`] with a reused scratch.
     #[inline]
     pub fn encode(&self, key: &[u8]) -> EncodedKey {
         self.encoder.encode(key)
+    }
+
+    /// Allocation-free point encode into a reusable scratch; returns the
+    /// padded encoded bytes (exact bit length via
+    /// [`EncodeScratch::bit_len`](crate::encoder::EncodeScratch::bit_len)).
+    ///
+    /// This is the query-probe hot path: no per-key `Vec`, and the dense
+    /// array-dictionary schemes take the fused
+    /// [`FastEncoder`](crate::fast_encoder::FastEncoder) table.
+    #[inline]
+    pub fn encode_to<'s>(
+        &self,
+        key: &[u8],
+        scratch: &'s mut crate::encoder::EncodeScratch,
+    ) -> &'s [u8] {
+        self.encoder.encode_to(key, scratch)
     }
 
     /// Encode a sorted batch with prefix reuse (Appendix B).
@@ -188,6 +207,19 @@ impl Hope {
     pub fn encode_range_bounds(&self, low: &[u8], high: &[u8]) -> (Vec<u8>, Vec<u8>) {
         let (lo, hi) = self.encoder.encode_pair(low, high);
         (lo.into_bytes(), hi.into_bytes())
+    }
+
+    /// Allocation-free [`Hope::encode_range_bounds`]: pair-encode into a
+    /// reusable scratch and return the two padded byte strings. Same
+    /// boundary-tie caveat as the allocating variant.
+    #[inline]
+    pub fn encode_range_bounds_to<'s>(
+        &self,
+        low: &[u8],
+        high: &[u8],
+        scratch: &'s mut crate::encoder::EncodeScratch,
+    ) -> (&'s [u8], &'s [u8]) {
+        self.encoder.encode_pair_to(low, high, scratch)
     }
 
     /// Access the low-level encoder.

@@ -57,6 +57,13 @@ impl SingleCharDict {
         assert_eq!(codes.len(), 256, "Single-Char dictionary must have 256 entries");
         SingleCharDict { codes: CodeArray::new(codes) }
     }
+
+    /// Code stored at `slot` (the leading byte value). Used to materialize
+    /// the [`FastEncoder`](crate::fast_encoder::FastEncoder) fused table.
+    #[inline]
+    pub fn code(&self, slot: usize) -> Code {
+        self.codes.get(slot)
+    }
 }
 
 impl DictLookup for SingleCharDict {
@@ -91,6 +98,15 @@ impl DoubleCharDict {
             "Double-Char dictionary must have 256*257 entries"
         );
         DoubleCharDict { codes: CodeArray::new(codes) }
+    }
+
+    /// Code stored at `slot` (`b0*257` for the terminator interval,
+    /// `b0*257 + b1 + 1` for the pair `b0 b1` — see
+    /// [`crate::selector::double_char`]). Used to materialize the
+    /// [`FastEncoder`](crate::fast_encoder::FastEncoder) fused table.
+    #[inline]
+    pub fn code(&self, slot: usize) -> Code {
+        self.codes.get(slot)
     }
 }
 

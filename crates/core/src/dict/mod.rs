@@ -12,6 +12,22 @@
 //! * [`art_dict`] — ART variant for ALM / ALM-Improved (prefix keys, full
 //!   prefixes, leaves store codes);
 //! * [`sorted_dict`] — binary search over the boundary list (baseline).
+//!
+//! The array dictionaries additionally feed the fused fast-path code
+//! table of [`crate::fast_encoder::FastEncoder`], which collapses the
+//! lookup + code fetch into a single dense table load on the encode hot
+//! path; the other structures are served by the generic walk below.
+//!
+//! ```
+//! use hope::{HopeBuilder, Scheme};
+//!
+//! let sample = vec![b"com.gmail@a".to_vec(), b"com.gmail@b".to_vec()];
+//! let hope = HopeBuilder::new(Scheme::SingleChar).build_from_sample(sample).unwrap();
+//! // A lookup returns the interval's code and the bytes it consumes.
+//! let (code, consumed) = hope.encoder().dict().lookup(b"com");
+//! assert_eq!(consumed, 1);          // Single-Char consumes one byte
+//! assert!(code.len >= 1);           // ...emitting that byte's prefix code
+//! ```
 
 pub mod array_dict;
 pub mod art_dict;

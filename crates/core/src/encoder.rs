@@ -1,31 +1,112 @@
 //! The Encoder (§4.2): repeated dictionary lookups + fast bit concatenation.
 //!
+//! ## Fast path vs slow path
+//!
+//! The encoder keeps **two** implementations of the per-symbol loop and
+//! picks one per dictionary at construction time:
+//!
+//! * the **fast path** — a [`FastEncoder`] fused code table, available for
+//!   the dense array-dictionary schemes (Single-Char / Double-Char): one
+//!   table load per symbol, pre-packed `(code, len)` entries, no enum
+//!   dispatch (see [`crate::fast_encoder`]);
+//! * the **slow path** — the generic dictionary walk
+//!   ([`Encoder::encode_generic_into`]), which works for every dictionary
+//!   structure (bitmap-trie, ART, sorted baseline) and serves as the
+//!   reference the fast path is property-tested against.
+//!
+//! Both paths are allocation-free: they append to a caller-supplied
+//! [`BitWriter`], and the `encode_into`-first API plus [`EncodeScratch`]
+//! let query hot paths reuse buffers across probes instead of allocating
+//! an [`EncodedKey`] per call. See DESIGN.md, "Performance guide".
+//!
+//! ## Batch and pair encoding
+//!
 //! Also implements the batch-encoding optimization (§4.2, Appendix B):
 //! when encoding a sorted batch, the common prefix of a block is encoded
 //! once and reused, provided the reuse point is aligned with dictionary
 //! lookups (safe for the fixed-gram schemes; ALM's arbitrary-length symbols
 //! make a-priori alignment impossible, as the paper notes, so those fall
-//! back to individual encoding).
+//! back to individual encoding). [`Encoder::encode_pair`] is the two-key
+//! special case used for closed-range query bounds: it walks the
+//! dictionary **once** for the two keys' common prefix and resumes the
+//! second key from the recorded checkpoint.
 
 use crate::axis::lcp_len;
 use crate::bitpack::{BitWriter, EncodedKey};
 use crate::dict::Dict;
+use crate::fast_encoder::FastEncoder;
 
-/// Key encoder: owns the dictionary and a reusable bit writer.
+/// Key encoder: owns the dictionary and, for the dense array-dictionary
+/// schemes, a precomputed [`FastEncoder`] fused code table.
 #[derive(Debug)]
 pub struct Encoder {
     dict: Dict,
+    /// Fused fast-path table (Single-Char / Double-Char only).
+    fast: Option<FastEncoder>,
     /// Max dictionary boundary length: a lookup checkpoint at byte `p` is
     /// reusable for another key sharing `p + max_boundary_len` prefix bytes.
     /// `None` disables batch reuse (ALM schemes).
     reuse_gram: Option<usize>,
 }
 
+/// Reusable encode buffers for the allocation-free query hot paths.
+///
+/// Holds a [`BitWriter`] plus output byte buffers for a key (or a pair of
+/// range-bound keys); every [`Encoder::encode_to`] /
+/// [`Encoder::encode_pair_to`] call clears and refills them, retaining the
+/// allocations. One scratch per thread (or per query loop) is the intended
+/// usage — `hope_store` keeps one in a thread-local.
+///
+/// ```
+/// use hope::encoder::EncodeScratch;
+/// use hope::{HopeBuilder, Scheme};
+///
+/// let sample = vec![b"com.gmail@alice".to_vec(), b"com.gmail@bob".to_vec()];
+/// let hope = HopeBuilder::new(Scheme::DoubleChar).build_from_sample(sample).unwrap();
+///
+/// let mut scratch = EncodeScratch::new();
+/// let bytes = hope.encode_to(b"com.gmail@carol", &mut scratch).to_vec();
+/// assert_eq!(bytes, hope.encode(b"com.gmail@carol").into_bytes());
+/// assert_eq!(scratch.bit_len(), hope.encode(b"com.gmail@carol").bit_len());
+/// ```
+#[derive(Debug, Default)]
+pub struct EncodeScratch {
+    writer: BitWriter,
+    lo: Vec<u8>,
+    hi: Vec<u8>,
+    lo_bits: usize,
+    hi_bits: usize,
+}
+
+impl EncodeScratch {
+    /// Fresh scratch with empty buffers.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Exact bit length of the last [`Encoder::encode_to`] result (or of
+    /// the *low* bound after [`Encoder::encode_pair_to`]).
+    #[inline]
+    pub fn bit_len(&self) -> usize {
+        self.lo_bits
+    }
+
+    /// Exact bit lengths `(low, high)` of the last
+    /// [`Encoder::encode_pair_to`] result.
+    #[inline]
+    pub fn pair_bit_lens(&self) -> (usize, usize) {
+        (self.lo_bits, self.hi_bits)
+    }
+}
+
 impl Encoder {
     /// Wrap a dictionary. `reuse_gram` is the scheme's maximum boundary
     /// length (1, 2, 3, 4) or `None` for variable-length-symbol schemes.
+    /// The fused fast-path table is materialized here when the dictionary
+    /// supports one.
     pub fn new(dict: Dict, reuse_gram: Option<usize>) -> Self {
-        Encoder { dict, reuse_gram }
+        let fast = FastEncoder::from_dict(&dict);
+        Encoder { dict, fast, reuse_gram }
     }
 
     /// Access the underlying dictionary.
@@ -33,7 +114,15 @@ impl Encoder {
         &self.dict
     }
 
+    /// The fused fast-path table, when this dictionary has one.
+    pub fn fast(&self) -> Option<&FastEncoder> {
+        self.fast.as_ref()
+    }
+
     /// Encode one key. The empty key encodes to the empty code.
+    ///
+    /// Allocates a fresh [`EncodedKey`]; query loops should prefer
+    /// [`Encoder::encode_to`] with a reused [`EncodeScratch`].
     pub fn encode(&self, key: &[u8]) -> EncodedKey {
         let mut w = BitWriter::with_capacity(key.len());
         self.encode_into(key, &mut w);
@@ -41,8 +130,20 @@ impl Encoder {
     }
 
     /// Encode `key`, appending to an existing writer (allocation reuse).
+    /// Takes the fused fast path when the dictionary has one.
     #[inline]
     pub fn encode_into(&self, key: &[u8], w: &mut BitWriter) {
+        match &self.fast {
+            Some(fast) => fast.encode_into(key, w),
+            None => self.encode_generic_into(key, w),
+        }
+    }
+
+    /// The generic (slow-path) encode loop: one dictionary lookup per
+    /// symbol through the [`Dict`] dispatch. Works for every dictionary
+    /// structure; the fast path is property-tested bit-identical to it.
+    #[inline]
+    pub fn encode_generic_into(&self, key: &[u8], w: &mut BitWriter) {
         let mut rest = key;
         while !rest.is_empty() {
             let (code, consumed) = self.dict.lookup(rest);
@@ -52,43 +153,148 @@ impl Encoder {
         }
     }
 
+    /// Allocating wrapper over [`Encoder::encode_generic_into`] — the
+    /// encode hot path as it existed before the fused table, kept callable
+    /// for benchmarks (`perf_baseline`) and differential tests.
+    pub fn encode_generic(&self, key: &[u8]) -> EncodedKey {
+        let mut w = BitWriter::with_capacity(key.len());
+        self.encode_generic_into(key, &mut w);
+        w.finish()
+    }
+
+    /// Allocation-free point encode: fill `scratch` and return the padded
+    /// encoded bytes (exact bit length via [`EncodeScratch::bit_len`]).
+    #[inline]
+    pub fn encode_to<'s>(&self, key: &[u8], scratch: &'s mut EncodeScratch) -> &'s [u8] {
+        self.encode_into(key, &mut scratch.writer);
+        scratch.lo_bits = scratch.writer.finish_into(&mut scratch.lo);
+        &scratch.lo
+    }
+
     /// Encode a batch of keys, exploiting shared prefixes within blocks of
     /// `block_size` **sorted** keys (Appendix B). `block_size = 1` encodes
     /// individually; `block_size = 2` is the paper's *pair-encoding* used
     /// for closed-range queries.
+    ///
+    /// The [`BitWriter`] and the per-block checkpoint list are allocated
+    /// once and reused across the whole batch; the only per-key allocation
+    /// is the exact-size byte buffer of each returned [`EncodedKey`].
     pub fn encode_batch(&self, keys: &[&[u8]], block_size: usize) -> Vec<EncodedKey> {
         assert!(block_size >= 1);
         let mut out = Vec::with_capacity(keys.len());
+        let mut w = BitWriter::with_capacity(keys.first().map_or(0, |k| k.len()));
         if block_size == 1 || self.reuse_gram.is_none() {
+            let mut buf = Vec::new();
             for k in keys {
-                out.push(self.encode(k));
+                self.encode_into(k, &mut w);
+                let bits = w.finish_into(&mut buf);
+                out.push(EncodedKey::from_parts(buf.clone(), bits));
             }
             return out;
         }
         let gram = self.reuse_gram.unwrap();
+        let mut checkpoints: Vec<(usize, usize)> = Vec::new();
+        let mut bufs = (Vec::new(), Vec::new());
         for block in keys.chunks(block_size) {
-            self.encode_block(block, gram, &mut out);
+            self.encode_block(block, gram, &mut w, &mut checkpoints, &mut bufs, &mut out);
         }
         out
     }
 
     /// Pair-encode the two boundary keys of a closed-range query.
+    ///
+    /// The dictionary is traversed **once** for the keys' common prefix:
+    /// while walking `low`, the last lookup checkpoint that is safely
+    /// aligned for `high` (at most `lcp - gram` source bytes, see
+    /// `encode_block`) is remembered, and `high` bit-copies `low`'s
+    /// encoding up to that checkpoint before resuming the walk. ALM
+    /// schemes (no alignment guarantee) fall back to two independent
+    /// walks.
     pub fn encode_pair(&self, low: &[u8], high: &[u8]) -> (EncodedKey, EncodedKey) {
-        let mut v = self.encode_batch(&[low, high], 2);
-        let hi = v.pop().expect("two encodings");
-        let lo = v.pop().expect("two encodings");
-        (lo, hi)
+        let mut scratch = EncodeScratch::new();
+        self.encode_pair_to(low, high, &mut scratch);
+        let EncodeScratch { lo, hi, lo_bits, hi_bits, .. } = scratch;
+        (EncodedKey::from_parts(lo, lo_bits), EncodedKey::from_parts(hi, hi_bits))
+    }
+
+    /// Allocation-free [`Encoder::encode_pair`]: fill `scratch` and return
+    /// the two padded byte strings (bit lengths via
+    /// [`EncodeScratch::pair_bit_lens`]).
+    pub fn encode_pair_to<'s>(
+        &self,
+        low: &[u8],
+        high: &[u8],
+        scratch: &'s mut EncodeScratch,
+    ) -> (&'s [u8], &'s [u8]) {
+        let w = &mut scratch.writer;
+        match self.reuse_gram {
+            None => {
+                self.encode_into(low, w);
+                scratch.lo_bits = w.finish_into(&mut scratch.lo);
+                self.encode_into(high, w);
+                scratch.hi_bits = w.finish_into(&mut scratch.hi);
+            }
+            Some(gram) => {
+                // One traversal serves both keys: record the deepest
+                // checkpoint usable by `high` while encoding `low`.
+                let shared = lcp_len(low, high);
+                let resume = if let Some(fast) = &self.fast {
+                    // Fixed-gram consumption is deterministic (every
+                    // lookup consumes exactly `gram` bytes until the
+                    // tail), so the deepest safely-aligned checkpoint —
+                    // the largest multiple of `gram` at most
+                    // `shared - gram` — is known a priori and both keys
+                    // take the fused table.
+                    debug_assert_eq!(fast.gram(), gram);
+                    let bytes = if shared >= 2 * gram { (shared - gram) / gram * gram } else { 0 };
+                    fast.encode_into(&low[..bytes], w);
+                    let bits = w.bit_len();
+                    fast.encode_into(&low[bytes..], w);
+                    (bytes, bits)
+                } else {
+                    let mut resume = (0usize, 0usize); // (source bytes, bits)
+                    let mut rest = low;
+                    let mut consumed = 0usize;
+                    while !rest.is_empty() {
+                        let (code, n) = self.dict.lookup(rest);
+                        w.put(code);
+                        consumed += n;
+                        rest = &rest[n..];
+                        if consumed + gram <= shared {
+                            resume = (consumed, w.bit_len());
+                        }
+                    }
+                    resume
+                };
+                scratch.lo_bits = w.finish_into(&mut scratch.lo);
+                copy_bit_prefix(&scratch.lo, resume.1, w);
+                self.encode_into(&high[resume.0..], w);
+                scratch.hi_bits = w.finish_into(&mut scratch.hi);
+            }
+        }
+        (&scratch.lo, &scratch.hi)
     }
 
     /// Encode one sorted block: the first key records lookup checkpoints
     /// (source byte offset, encoded bit offset); subsequent keys bit-copy
     /// the longest safely-aligned shared prefix and resume encoding there.
-    fn encode_block(&self, block: &[&[u8]], gram: usize, out: &mut Vec<EncodedKey>) {
+    /// `w`, `checkpoints` and the `bufs` staging buffers are caller-owned
+    /// so a batch amortizes their allocations across every block; the only
+    /// per-key allocation is each output key's exact-size byte buffer.
+    fn encode_block(
+        &self,
+        block: &[&[u8]],
+        gram: usize,
+        w: &mut BitWriter,
+        checkpoints: &mut Vec<(usize, usize)>,
+        bufs: &mut (Vec<u8>, Vec<u8>),
+        out: &mut Vec<EncodedKey>,
+    ) {
         debug_assert!(!block.is_empty());
+        let (first_buf, buf) = bufs;
         let first = block[0];
         // (source bytes consumed, bits emitted) after each lookup.
-        let mut checkpoints: Vec<(usize, usize)> = Vec::with_capacity(first.len());
-        let mut w = BitWriter::with_capacity(first.len());
+        checkpoints.clear();
         let mut rest = first;
         let mut consumed_total = 0usize;
         while !rest.is_empty() {
@@ -98,8 +304,8 @@ impl Encoder {
             rest = &rest[consumed..];
             checkpoints.push((consumed_total, w.bit_len()));
         }
-        let first_enc = w.finish();
-        out.push(first_enc.clone());
+        let first_bits = w.finish_into(first_buf);
+        out.push(EncodedKey::from_parts(first_buf.clone(), first_bits));
 
         for key in &block[1..] {
             let shared = lcp_len(first, key);
@@ -109,35 +315,34 @@ impl Encoder {
             let ck = checkpoints.iter().take_while(|&&(p, _)| p + gram <= shared).last().copied();
             match ck {
                 Some((bytes, bits)) => {
-                    let mut w = BitWriter::with_capacity(key.len());
-                    copy_bit_prefix(&first_enc, bits, &mut w);
-                    self.encode_into(&key[bytes..], &mut w);
-                    out.push(w.finish());
+                    copy_bit_prefix(first_buf, bits, w);
+                    self.encode_into(&key[bytes..], w);
                 }
-                None => out.push(self.encode(key)),
+                None => self.encode_into(key, w),
             }
+            let bits = w.finish_into(buf);
+            out.push(EncodedKey::from_parts(buf.clone(), bits));
         }
     }
 }
 
-/// Append the first `bits` bits of `src` to `w`.
-fn copy_bit_prefix(src: &EncodedKey, bits: usize, w: &mut BitWriter) {
-    debug_assert!(bits <= src.bit_len());
-    let bytes = src.as_bytes();
+/// Append the first `bits` bits of the padded byte string `src` to `w`.
+fn copy_bit_prefix(src: &[u8], bits: usize, w: &mut BitWriter) {
+    debug_assert!(bits <= src.len() * 8);
     let whole = bits / 8;
     let mut i = 0;
     while i + 8 <= whole {
-        let v = u64::from_be_bytes(bytes[i..i + 8].try_into().expect("8 bytes"));
+        let v = u64::from_be_bytes(src[i..i + 8].try_into().expect("8 bytes"));
         w.put_bits(v, 64);
         i += 8;
     }
     while i < whole {
-        w.put_bits(bytes[i] as u64, 8);
+        w.put_bits(src[i] as u64, 8);
         i += 1;
     }
     let rem = bits % 8;
     if rem > 0 {
-        w.put_bits((bytes[whole] >> (8 - rem)) as u64, rem as u32);
+        w.put_bits((src[whole] >> (8 - rem)) as u64, rem as u32);
     }
 }
 
@@ -206,6 +411,43 @@ mod tests {
     }
 
     #[test]
+    fn fast_path_presence_matches_scheme() {
+        let s = sample();
+        assert!(build_encoder(Scheme::SingleChar, &s).fast().is_some());
+        assert!(build_encoder(Scheme::DoubleChar, &s).fast().is_some());
+        assert!(build_encoder(Scheme::ThreeGrams, &s).fast().is_none());
+        assert!(build_encoder(Scheme::Alm, &s).fast().is_none());
+    }
+
+    #[test]
+    fn fast_path_matches_generic_path() {
+        let s = sample();
+        for scheme in Scheme::ALL {
+            let enc = build_encoder(scheme, &s);
+            for key in
+                [b"".as_slice(), b"a", b"com.gmail@zzz", b"odd len", b"\x00\xff", b"unseen bytes"]
+            {
+                assert_eq!(enc.encode(key), enc.encode_generic(key), "{scheme}: key {key:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn encode_to_reuses_scratch_and_matches_encode() {
+        let s = sample();
+        let mut scratch = EncodeScratch::new();
+        for scheme in Scheme::ALL {
+            let enc = build_encoder(scheme, &s);
+            for key in [b"com.gmail@alice".as_slice(), b"", b"x", b"com.yahoo@dave!"] {
+                let reference = enc.encode(key);
+                let bytes = enc.encode_to(key, &mut scratch);
+                assert_eq!(bytes, reference.as_bytes(), "{scheme}: key {key:?}");
+                assert_eq!(scratch.bit_len(), reference.bit_len(), "{scheme}: key {key:?}");
+            }
+        }
+    }
+
+    #[test]
     fn compresses_skewed_text() {
         let s = sample();
         let enc = build_encoder(Scheme::DoubleChar, &s);
@@ -245,10 +487,31 @@ mod tests {
     #[test]
     fn pair_encoding_matches_individual() {
         let s = sample();
-        let enc = build_encoder(Scheme::ThreeGrams, &s);
+        for scheme in Scheme::ALL {
+            let enc = build_encoder(scheme, &s);
+            for (low, high) in [
+                (b"com.gmail@foo".as_slice(), b"com.gmail@fop".as_slice()),
+                (b"com.gmail@foo", b"com.gmail@foo"),
+                (b"", b"com.gmail@foo"),
+                (b"aaa", b"zzz"),
+                (b"com.gmail@", b"com.gmail@zzzzzz"),
+            ] {
+                let (lo, hi) = enc.encode_pair(low, high);
+                assert_eq!(lo, enc.encode(low), "{scheme}: low {low:?}");
+                assert_eq!(hi, enc.encode(high), "{scheme}: high {high:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn pair_scratch_matches_pair() {
+        let s = sample();
+        let mut scratch = EncodeScratch::new();
+        let enc = build_encoder(Scheme::DoubleChar, &s);
         let (lo, hi) = enc.encode_pair(b"com.gmail@foo", b"com.gmail@fop");
-        assert_eq!(lo, enc.encode(b"com.gmail@foo"));
-        assert_eq!(hi, enc.encode(b"com.gmail@fop"));
+        let (lo2, hi2) = enc.encode_pair_to(b"com.gmail@foo", b"com.gmail@fop", &mut scratch);
+        assert_eq!((lo2, hi2), (lo.as_bytes(), hi.as_bytes()));
+        assert_eq!(scratch.pair_bit_lens(), (lo.bit_len(), hi.bit_len()));
         assert!(lo < hi);
     }
 
@@ -261,7 +524,7 @@ mod tests {
         let full = w.finish();
         for cut in [0usize, 1, 7, 8, 9, 63, 64, 65, 100, full.bit_len()] {
             let mut w2 = BitWriter::new();
-            copy_bit_prefix(&full, cut, &mut w2);
+            copy_bit_prefix(full.as_bytes(), cut, &mut w2);
             let partial = w2.finish();
             assert_eq!(partial.bit_len(), cut);
             for b in 0..cut {

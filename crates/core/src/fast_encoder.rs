@@ -1,0 +1,251 @@
+//! Fast-path encoder (§4.2 + §6 fig. 8): precomputed dense code tables
+//! fused with bit-packing.
+//!
+//! The generic encode loop pays, per symbol: an enum dispatch into
+//! [`Dict`], the dictionary's own slot arithmetic, two
+//! parallel-array loads (code bits + code length), and the construction of
+//! a [`Code`] value that is immediately torn apart
+//! again by the bit writer. For the array-dictionary schemes (Single-Char,
+//! Double-Char) none of that is necessary: the dictionary is total over a
+//! dense index space, so the whole lookup can be *fused* into one table
+//! load whose entry is already in pack-ready form.
+//!
+//! A [`FastEncoder`] materializes that table at build time:
+//!
+//! * **Single-Char** — 256 entries, one per leading byte;
+//! * **Double-Char** — a 65 536-entry table indexed by the leading byte
+//!   *pair* `(b0 << 8) | b1`, plus a 256-entry terminator table for a
+//!   trailing odd byte.
+//!
+//! Each entry packs `(code bits << 8) | code length` into a single `u64`,
+//! so the per-symbol work in [`FastEncoder::encode_into`] is one load, one
+//! shift, one mask, and the bit-writer append. Codes longer than 56 bits
+//! cannot be packed; [`FastEncoder::from_dict`] then declines (returns
+//! `None`) and the encoder keeps the generic walk — possible only under
+//! extreme Hu-Tucker skew, and always correct.
+//!
+//! The variable-length-symbol schemes (3/4-Grams, ALM) keep the generic
+//! trie walk: their dictionaries are not dense, so there is no table to
+//! fuse. See DESIGN.md, "Performance guide".
+
+use crate::bitpack::{BitWriter, Code};
+use crate::dict::Dict;
+use crate::selector::double_char::DOUBLE_CHAR_ENTRIES;
+
+/// Maximum code length a packed `(bits << 8) | len` entry can hold.
+const MAX_PACKED_LEN: u8 = 56;
+
+/// Pack a code into the fused-table entry form.
+fn pack(c: Code) -> u64 {
+    debug_assert!(c.len <= MAX_PACKED_LEN);
+    (c.bits << 8) | c.len as u64
+}
+
+/// The fused code table of one array-dictionary scheme.
+#[derive(Debug)]
+enum FastTable {
+    /// 256 entries: byte → packed code.
+    Single(Box<[u64]>),
+    /// 65 536 pair entries (`(b0 << 8) | b1`) plus 256 terminator entries
+    /// for a single trailing byte.
+    Double {
+        /// Packed code of the two-byte symbol starting at each byte pair.
+        pair: Box<[u64]>,
+        /// Packed code of the one-byte terminator symbol per leading byte.
+        term: Box<[u64]>,
+    },
+}
+
+/// Zero-allocation fast-path encoder over a precomputed dense code table.
+///
+/// Built from an array dictionary by [`FastEncoder::from_dict`]; produces
+/// output bit-identical to the generic dictionary walk (the equivalence is
+/// property-tested across all schemes in `tests/fast_encoder_equiv.rs`).
+///
+/// ```
+/// use hope::{HopeBuilder, Scheme};
+///
+/// let sample = vec![b"com.gmail@alice".to_vec(), b"com.gmail@bob".to_vec()];
+/// let hope = HopeBuilder::new(Scheme::SingleChar).build_from_sample(sample).unwrap();
+/// // Single-Char builds a fused table; encode() transparently uses it.
+/// assert!(hope.encoder().fast().is_some());
+///
+/// // The fast path is bit-identical to the generic dictionary walk.
+/// let mut w = hope::bitpack::BitWriter::new();
+/// hope.encoder().fast().unwrap().encode_into(b"com.gmail@carol", &mut w);
+/// assert_eq!(w.finish(), hope.encoder().encode_generic(b"com.gmail@carol"));
+/// ```
+#[derive(Debug)]
+pub struct FastEncoder {
+    table: FastTable,
+}
+
+impl FastEncoder {
+    /// Materialize the fused table for `dict`, or `None` when the
+    /// dictionary has no dense fast path (bitmap-trie / ART / sorted
+    /// baseline) or some code exceeds the 56-bit packed-entry limit.
+    pub fn from_dict(dict: &Dict) -> Option<FastEncoder> {
+        match dict {
+            Dict::Single(d) => {
+                let mut table = Vec::with_capacity(256);
+                for b in 0..256usize {
+                    let c = d.code(b);
+                    if c.len > MAX_PACKED_LEN {
+                        return None;
+                    }
+                    table.push(pack(c));
+                }
+                Some(FastEncoder { table: FastTable::Single(table.into_boxed_slice()) })
+            }
+            Dict::Double(d) => {
+                // Dictionary layout is `b0*257 + b1 + 1` for the pair
+                // symbol and `b0*257` for the terminator; the fused table
+                // re-indexes the pairs densely as `(b0 << 8) | b1`.
+                let mut pair_tab = Vec::with_capacity(1 << 16);
+                let mut term = Vec::with_capacity(256);
+                for b0 in 0..256usize {
+                    let t = d.code(b0 * 257);
+                    if t.len > MAX_PACKED_LEN {
+                        return None;
+                    }
+                    term.push(pack(t));
+                    for b1 in 0..256usize {
+                        let c = d.code(b0 * 257 + b1 + 1);
+                        if c.len > MAX_PACKED_LEN {
+                            return None;
+                        }
+                        pair_tab.push(pack(c));
+                    }
+                }
+                debug_assert_eq!(pair_tab.len() + term.len(), DOUBLE_CHAR_ENTRIES);
+                Some(FastEncoder {
+                    table: FastTable::Double {
+                        pair: pair_tab.into_boxed_slice(),
+                        term: term.into_boxed_slice(),
+                    },
+                })
+            }
+            Dict::Bitmap(_) | Dict::Art(_) | Dict::Sorted(_) => None,
+        }
+    }
+
+    /// Encode `key`, appending to `w`. Bit-identical to the generic walk
+    /// over the dictionary this table was built from.
+    #[inline]
+    pub fn encode_into(&self, key: &[u8], w: &mut BitWriter) {
+        match &self.table {
+            FastTable::Single(t) => {
+                for &b in key {
+                    let e = t[b as usize];
+                    w.put_bits(e >> 8, (e & 0xFF) as u32);
+                }
+            }
+            FastTable::Double { pair, term } => {
+                let mut chunks = key.chunks_exact(2);
+                for p in &mut chunks {
+                    let e = pair[(p[0] as usize) << 8 | p[1] as usize];
+                    w.put_bits(e >> 8, (e & 0xFF) as u32);
+                }
+                if let [b] = chunks.remainder() {
+                    let e = term[*b as usize];
+                    w.put_bits(e >> 8, (e & 0xFF) as u32);
+                }
+            }
+        }
+    }
+
+    /// Symbol length of this table's dictionary grams (1 or 2).
+    pub fn gram(&self) -> usize {
+        match &self.table {
+            FastTable::Single(_) => 1,
+            FastTable::Double { .. } => 2,
+        }
+    }
+
+    /// Bytes of memory used by the fused table(s).
+    pub fn memory_bytes(&self) -> usize {
+        match &self.table {
+            FastTable::Single(t) => t.len() * 8,
+            FastTable::Double { pair, term } => (pair.len() + term.len()) * 8,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::code_assign::CodeAssigner;
+    use crate::selector::{self, Scheme};
+
+    fn build_dict(scheme: Scheme, sample: &[Vec<u8>]) -> Dict {
+        let set = selector::select_intervals(scheme, sample, 1024).unwrap();
+        let weights = selector::access_weights(&set, sample);
+        let codes = if scheme.uses_hu_tucker() {
+            CodeAssigner::HuTucker.assign(&weights)
+        } else {
+            CodeAssigner::FixedLength.assign(&weights)
+        };
+        Dict::build(scheme, &set, &codes)
+    }
+
+    fn sample() -> Vec<Vec<u8>> {
+        (0..100).map(|i| format!("com.gmail@user{i:03}").into_bytes()).collect()
+    }
+
+    #[test]
+    fn array_schemes_build_a_table_others_do_not() {
+        let s = sample();
+        assert!(FastEncoder::from_dict(&build_dict(Scheme::SingleChar, &s)).is_some());
+        assert!(FastEncoder::from_dict(&build_dict(Scheme::DoubleChar, &s)).is_some());
+        assert!(FastEncoder::from_dict(&build_dict(Scheme::ThreeGrams, &s)).is_none());
+        assert!(FastEncoder::from_dict(&build_dict(Scheme::AlmImproved, &s)).is_none());
+    }
+
+    #[test]
+    fn fast_matches_generic_walk_on_both_array_schemes() {
+        let s = sample();
+        for scheme in [Scheme::SingleChar, Scheme::DoubleChar] {
+            let dict = build_dict(scheme, &s);
+            let fast = FastEncoder::from_dict(&dict).unwrap();
+            for key in [
+                b"".as_slice(),
+                b"a",
+                b"com.gmail@user042",
+                b"odd",
+                b"\x00\xff\x7f",
+                b"completely unrelated key material \xfe\xfd",
+            ] {
+                let mut w = BitWriter::new();
+                fast.encode_into(key, &mut w);
+                let got = w.finish();
+                let mut w = BitWriter::new();
+                let mut rest = key;
+                while !rest.is_empty() {
+                    let (code, n) = dict.lookup(rest);
+                    w.put(code);
+                    rest = &rest[n..];
+                }
+                assert_eq!(got, w.finish(), "{scheme}: key {key:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn overlong_codes_decline_the_fast_path() {
+        let mut codes = crate::hu_tucker::fixed_len_codes(256);
+        codes[0] = Code::new(u64::MAX >> 4, 60);
+        let dict = Dict::Single(crate::dict::SingleCharDict::new(&codes));
+        assert!(FastEncoder::from_dict(&dict).is_none());
+    }
+
+    #[test]
+    fn table_memory_and_gram() {
+        let s = sample();
+        let single = FastEncoder::from_dict(&build_dict(Scheme::SingleChar, &s)).unwrap();
+        assert_eq!(single.gram(), 1);
+        assert_eq!(single.memory_bytes(), 256 * 8);
+        let double = FastEncoder::from_dict(&build_dict(Scheme::DoubleChar, &s)).unwrap();
+        assert_eq!(double.gram(), 2);
+        assert_eq!(double.memory_bytes(), (65536 + 256) * 8);
+    }
+}

@@ -47,6 +47,7 @@ pub mod code_assign;
 pub mod decoder;
 pub mod dict;
 pub mod encoder;
+pub mod fast_encoder;
 pub mod hu_tucker;
 pub mod index;
 pub mod selector;
@@ -54,6 +55,7 @@ pub mod stats;
 
 pub use bitpack::{Code, EncodedKey};
 pub use builder::{BuildTimings, Hope, HopeBuilder, HopeError};
-pub use encoder::Encoder;
+pub use encoder::{EncodeScratch, Encoder};
+pub use fast_encoder::FastEncoder;
 pub use index::OrderedIndex;
 pub use selector::Scheme;

@@ -6,6 +6,16 @@
 //! scheme. The access probabilities are obtained the way the paper
 //! describes: a *test encoding* of the sample keys against the chosen
 //! intervals, counting how often each interval is hit.
+//!
+//! ```
+//! use hope::selector::{access_weights, select_intervals, Scheme};
+//!
+//! let sample = vec![b"singing".to_vec(), b"ringing".to_vec()];
+//! let set = select_intervals(Scheme::ThreeGrams, &sample, 64).unwrap();
+//! let weights = access_weights(&set, &sample);
+//! assert_eq!(weights.len(), set.len());   // one weight per interval
+//! assert!(set.validate().is_ok());        // complete division (§3.2)
+//! ```
 
 pub mod alm;
 pub mod double_char;

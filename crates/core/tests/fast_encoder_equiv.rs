@@ -1,0 +1,89 @@
+//! Fast-path / generic-path equivalence: the fused-table encoder
+//! ([`hope::FastEncoder`], taken transparently by `encode`/`encode_to`)
+//! must be **bit-identical** to the generic dictionary walk
+//! ([`hope::Encoder::encode_generic`]) for every scheme, every key — the
+//! fast path is an implementation detail, never a semantic change.
+//!
+//! Random samples build the dictionaries; random probe keys (including
+//! bytes never sampled — completeness covers them) are encoded through
+//! both paths, individually, pair-wise and in sorted batches.
+
+use hope::{EncodeScratch, Hope, HopeBuilder, Scheme};
+use proptest::prelude::*;
+
+fn build(scheme: Scheme, sample: &[Vec<u8>]) -> Hope {
+    HopeBuilder::new(scheme)
+        .dictionary_entries(256)
+        .build_from_sample(sample.iter().cloned())
+        .expect("build")
+}
+
+fn check_equivalence(hope: &Hope, scheme: Scheme, probes: &[Vec<u8>]) {
+    let mut scratch = EncodeScratch::new();
+    for p in probes {
+        let generic = hope.encoder().encode_generic(p);
+        // Point encode (allocating) takes the fast path when present.
+        assert_eq!(hope.encode(p), generic, "{scheme}: encode({p:?})");
+        // Scratch encode returns the same padded bytes and bit length.
+        let bytes = hope.encode_to(p, &mut scratch);
+        assert_eq!(bytes, generic.as_bytes(), "{scheme}: encode_to({p:?})");
+        assert_eq!(scratch.bit_len(), generic.bit_len(), "{scheme}: encode_to({p:?}) bits");
+    }
+    // Pair encoding shares one traversal; results must still match the
+    // per-key generic walk.
+    for w in probes.windows(2) {
+        let (mut low, mut high) = (w[0].clone(), w[1].clone());
+        if low > high {
+            std::mem::swap(&mut low, &mut high);
+        }
+        let (lo, hi) = hope.encode_pair(&low, &high);
+        assert_eq!(lo, hope.encoder().encode_generic(&low), "{scheme}: pair low {low:?}");
+        assert_eq!(hi, hope.encoder().encode_generic(&high), "{scheme}: pair high {high:?}");
+    }
+    // Sorted-batch encoding (Appendix B prefix reuse) as well.
+    let mut sorted: Vec<&[u8]> = probes.iter().map(|p| p.as_slice()).collect();
+    sorted.sort_unstable();
+    for block in [2usize, 8] {
+        let batch = hope.encode_batch(&sorted, block);
+        for (k, e) in sorted.iter().zip(&batch) {
+            assert_eq!(e, &hope.encoder().encode_generic(k), "{scheme}: batch({block}) {k:?}");
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+    #[test]
+    fn fast_path_is_bit_identical_across_all_schemes(
+        sample in proptest::collection::vec(
+            proptest::collection::vec(any::<u8>(), 1..24), 1..24),
+        probes in proptest::collection::vec(
+            proptest::collection::vec(any::<u8>(), 0..32), 2..24),
+    ) {
+        for scheme in Scheme::ALL {
+            let hope = build(scheme, &sample);
+            check_equivalence(&hope, scheme, &probes);
+        }
+    }
+}
+
+/// Deterministic smoke over realistic (email-shaped) keys, so a failure
+/// here is reproducible without the proptest RNG.
+#[test]
+fn fast_path_is_bit_identical_on_email_keys() {
+    let sample: Vec<Vec<u8>> =
+        (0..300).map(|i| format!("com.gmail@user{i:04}").into_bytes()).collect();
+    let probes: Vec<Vec<u8>> = vec![
+        b"".to_vec(),
+        b"a".to_vec(),
+        b"com.gmail@user0000".to_vec(),
+        b"com.gmail@zzz".to_vec(),
+        b"org.never.sampled@x".to_vec(),
+        b"\x00\xff\x7f\x80".to_vec(),
+        b"odd".to_vec(),
+    ];
+    for scheme in Scheme::ALL {
+        let hope = build(scheme, &sample);
+        check_equivalence(&hope, scheme, &probes);
+    }
+}

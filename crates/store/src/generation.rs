@@ -18,9 +18,18 @@
 //! re-check the source bounds, so the store is exact for arbitrary byte
 //! keys — not just keys where ties cannot occur.
 
+use std::cell::RefCell;
 use std::sync::RwLock;
 
-use hope::{Hope, OrderedIndex};
+use hope::{EncodeScratch, Hope, OrderedIndex};
+
+thread_local! {
+    /// Per-thread encode buffers for the probe hot paths (`get`, `insert`,
+    /// `range`): every probe reuses the same writer and byte buffers
+    /// instead of allocating an `EncodedKey` per call. Thread-local rather
+    /// than per-generation so readers on many threads never contend.
+    static SCRATCH: RefCell<EncodeScratch> = RefCell::new(EncodeScratch::new());
+}
 
 /// One stored record: the original (uncompressed) key and its value.
 ///
@@ -139,32 +148,45 @@ impl Generation {
             + d.slots.iter().map(|s| s.len() * 4 + std::mem::size_of::<Vec<u32>>()).sum::<usize>()
     }
 
-    /// Point lookup by source key.
+    /// Point lookup by source key. The probe key is encoded into a
+    /// thread-local scratch — no allocation on this path.
     pub fn get(&self, key: &[u8]) -> Option<u64> {
-        let enc = self.hope.encode(key).into_bytes();
-        let d = self.data.read().unwrap();
-        let slot = d.index.get(&enc)?;
-        let slot = &d.slots[slot as usize];
-        slot.iter()
-            .map(|&ei| &d.entries[ei as usize])
-            .find(|e| e.key.as_ref() == key)
-            .map(|e| e.value)
+        SCRATCH.with_borrow_mut(|scratch| {
+            let enc = self.hope.encode_to(key, scratch);
+            let d = self.data.read().unwrap();
+            let slot = d.index.get(enc)?;
+            let slot = &d.slots[slot as usize];
+            slot.iter()
+                .map(|&ei| &d.entries[ei as usize])
+                .find(|e| e.key.as_ref() == key)
+                .map(|e| e.value)
+        })
     }
 
     /// Insert or update; returns the previous value (if any) and the
-    /// encode footprint for drift accounting.
+    /// encode footprint for drift accounting. Encoding happens into a
+    /// thread-local scratch before the data lock is taken; the index's own
+    /// `insert` copies the bytes it keeps.
     pub(crate) fn insert(&self, key: &[u8], value: u64) -> (Option<u64>, EncodeFootprint) {
-        let enc = self.hope.encode(key);
+        SCRATCH.with_borrow_mut(|scratch| self.insert_encoded(key, value, scratch))
+    }
+
+    fn insert_encoded(
+        &self,
+        key: &[u8],
+        value: u64,
+        scratch: &mut EncodeScratch,
+    ) -> (Option<u64>, EncodeFootprint) {
+        let bytes = self.hope.encode_to(key, scratch);
         let footprint =
-            EncodeFootprint { src_bytes: key.len() as u64, enc_bytes: enc.byte_len() as u64 };
-        let bytes = enc.into_bytes();
+            EncodeFootprint { src_bytes: key.len() as u64, enc_bytes: bytes.len() as u64 };
         let mut d = self.data.write().unwrap();
         // Slot entries are u32; the log is compacted by rebuilds long
         // before this bound in any maintained deployment.
         let new_idx = u32::try_from(d.entries.len())
             .expect("generation write log exceeded u32::MAX entries without a rebuild");
         d.entries.push(Entry { key: key.into(), value });
-        let existing = d.index.get(&bytes);
+        let existing = d.index.get(bytes);
         let GenData { index, entries, slots, live } = &mut *d;
         match existing {
             Some(slot_id) => {
@@ -191,7 +213,7 @@ impl Generation {
             }
             None => {
                 slots.push(vec![new_idx]);
-                index.insert(&bytes, (slots.len() - 1) as u64);
+                index.insert(bytes, (slots.len() - 1) as u64);
                 *live += 1;
                 (None, footprint)
             }
@@ -199,12 +221,27 @@ impl Generation {
     }
 
     /// Bounded range query by source keys, inclusive on both ends:
-    /// `(key, value)` pairs in source order, at most `limit`.
+    /// `(key, value)` pairs in source order, at most `limit`. The two
+    /// bounds are pair-encoded (one dictionary traversal for their common
+    /// prefix) into a thread-local scratch — no allocation before the scan.
     pub fn range(&self, low: &[u8], high: &[u8], limit: usize) -> Vec<(Vec<u8>, u64)> {
         if low > high || limit == 0 {
             return Vec::new();
         }
-        let (enc_low, enc_high) = self.hope.encode_range_bounds(low, high);
+        SCRATCH.with_borrow_mut(|scratch| {
+            let (enc_low, enc_high) = self.hope.encode_range_bounds_to(low, high, scratch);
+            self.range_encoded(low, high, limit, enc_low, enc_high)
+        })
+    }
+
+    fn range_encoded(
+        &self,
+        low: &[u8],
+        high: &[u8],
+        limit: usize,
+        enc_low: &[u8],
+        enc_high: &[u8],
+    ) -> Vec<(Vec<u8>, u64)> {
         let d = self.data.read().unwrap();
         // Boundary slots may mix keys inside and outside the source range
         // (padded-byte ties), so a slot-limited query can come up short
@@ -212,7 +249,7 @@ impl Generation {
         // encoded range is exhausted.
         let mut want = limit.saturating_add(2);
         loop {
-            let slot_ids = d.index.range(&enc_low, &enc_high, want);
+            let slot_ids = d.index.range(enc_low, enc_high, want);
             let exhausted = slot_ids.len() < want;
             let mut out = Vec::with_capacity(limit.min(slot_ids.len()));
             for sid in &slot_ids {

@@ -1,6 +1,11 @@
 //! One shard: an epoch handle over the current [`Generation`], live drift
 //! statistics, and the rebuild/swap machinery.
 //!
+//! The probe paths (`get` / `range` / `insert`) delegate to the current
+//! generation, which encodes probe keys into thread-local scratch buffers
+//! (see [`crate::generation`]) — a shard probe performs no per-key
+//! allocation on the encode side.
+//!
 //! ## Concurrency protocol
 //!
 //! * **Readers** (`get`/`range`) clone the `Arc<Generation>` out of the
