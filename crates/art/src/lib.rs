@@ -484,24 +484,39 @@ impl Art {
 
     /// Range scan: values of up to `count` keys `>= start`, in key order.
     pub fn scan(&self, start: &[u8], count: usize) -> Vec<u64> {
-        self.scan_bounded(start, None, count)
+        let mut out = Vec::with_capacity(count.min(64));
+        self.scan_bounded(start, None, count, &mut out);
+        out
+    }
+
+    /// Allocation-free [`Art::scan`]: append up to `count` values to a
+    /// caller-owned buffer (scan loops reuse one across probes).
+    pub fn scan_into(&self, start: &[u8], count: usize, out: &mut Vec<u64>) {
+        self.scan_bounded(start, None, count, out);
     }
 
     /// Bounded range scan: values of up to `limit` keys in `low..=high`
     /// (inclusive on both ends), in key order.
     pub fn range(&self, low: &[u8], high: &[u8], limit: usize) -> Vec<u64> {
-        if low > high {
-            return Vec::new();
-        }
-        self.scan_bounded(low, Some(high), limit)
+        let mut out = Vec::with_capacity(limit.min(64));
+        self.range_into(low, high, limit, &mut out);
+        out
     }
 
-    fn scan_bounded(&self, start: &[u8], high: Option<&[u8]>, count: usize) -> Vec<u64> {
-        let mut out = Vec::with_capacity(count.min(64));
-        if let Some(root) = self.root {
-            self.scan_rec(root, 0, start, high, true, count, &mut out);
+    /// Allocation-free [`Art::range`]: append up to `limit` values to a
+    /// caller-owned buffer (scan loops reuse one across probes).
+    pub fn range_into(&self, low: &[u8], high: &[u8], limit: usize, out: &mut Vec<u64>) {
+        if low > high {
+            return;
         }
-        out
+        self.scan_bounded(low, Some(high), limit, out);
+    }
+
+    fn scan_bounded(&self, start: &[u8], high: Option<&[u8]>, count: usize, out: &mut Vec<u64>) {
+        let stop = out.len().saturating_add(count);
+        if let Some(root) = self.root {
+            self.scan_rec(root, 0, start, high, true, stop, out);
+        }
     }
 
     /// Push one leaf's value unless it lies above the inclusive upper
@@ -520,6 +535,7 @@ impl Art {
     /// In-order traversal; `bounded` = the subtree may still contain keys
     /// below `start` (we are on the boundary path). `high` is the optional
     /// inclusive upper bound; the first key above it stops the walk.
+    /// `stop` is the absolute output length to halt at (append semantics).
     #[allow(clippy::too_many_arguments)]
     fn scan_rec(
         &self,
@@ -528,10 +544,10 @@ impl Art {
         start: &[u8],
         high: Option<&[u8]>,
         bounded: bool,
-        count: usize,
+        stop: usize,
         out: &mut Vec<u64>,
     ) -> bool {
-        if out.len() >= count {
+        if out.len() >= stop {
             return false;
         }
         if let Some(leaf) = ptr.as_leaf() {
@@ -539,7 +555,7 @@ impl Art {
             {
                 return false;
             }
-            return out.len() < count;
+            return out.len() < stop;
         }
         let node_idx = ptr.as_node().expect("valid ptr");
         let node = &self.nodes[node_idx];
@@ -571,7 +587,7 @@ impl Art {
             if in_range && !self.emit(t, high, out) {
                 return false;
             }
-            if out.len() >= count {
+            if out.len() >= stop {
                 return false;
             }
         }
@@ -579,7 +595,7 @@ impl Art {
         node.children.for_each_from(from, |label, child| {
             let child_bounded = boundary_child && (label as u16) == from;
             keep_going =
-                self.scan_rec(child, depth + pl + 1, start, high, child_bounded, count, out);
+                self.scan_rec(child, depth + pl + 1, start, high, child_bounded, stop, out);
             keep_going
         });
         keep_going
@@ -627,6 +643,10 @@ impl hope::OrderedIndex for Art {
 
     fn range(&self, low: &[u8], high: &[u8], limit: usize) -> Vec<u64> {
         Art::range(self, low, high, limit)
+    }
+
+    fn range_into(&self, low: &[u8], high: &[u8], limit: usize, out: &mut Vec<u64>) {
+        Art::range_into(self, low, high, limit, out)
     }
 
     fn len(&self) -> usize {

@@ -39,6 +39,7 @@ fn main() {
                     tree.insert(&prep.keys[i], i as u64);
                 }
                 let mut scratch = QueryScratch::default();
+                let mut hits = Vec::new();
                 let mut scan_time = std::time::Duration::ZERO;
                 let mut scans = 0usize;
                 let mut insert_time = std::time::Duration::ZERO;
@@ -49,7 +50,9 @@ fn main() {
                         Op::Scan(idx, len) => {
                             let ((), d) = time(|| {
                                 let start = prep.encode_query_scratch(&keys[*idx], &mut scratch);
-                                scanned_total += tree.scan(start, *len).len();
+                                hits.clear();
+                                tree.scan_into(start, *len, &mut hits);
+                                scanned_total += hits.len();
                             });
                             scan_time += d;
                             scans += 1;

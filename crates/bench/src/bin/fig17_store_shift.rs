@@ -78,8 +78,12 @@ fn main() {
                     let (k, v) = &frozen[i % frozen.len()];
                     assert_eq!(store.get(k), Some(*v), "reader saw a wrong point result");
                     if i % 16 == 0 {
-                        let hits = store.range(k, k, 2);
-                        assert_eq!(hits, vec![(k.clone(), *v)], "reader saw a wrong range");
+                        // Zero-allocation visitor scan: hits are borrowed.
+                        let mut ok = false;
+                        let hits = store.range_with(k, k, 2, |rk, rv| {
+                            ok = rk == k.as_slice() && rv == *v;
+                        });
+                        assert!(hits == 1 && ok, "reader saw a wrong range for {k:?}");
                     }
                     checks.fetch_add(1, Ordering::Relaxed);
                     i += 1;
@@ -126,6 +130,25 @@ fn main() {
             let (reports, errors) = store.maintain();
             assert!(errors.is_empty(), "rebuild errors: {errors:?}");
             for r in &reports {
+                // Losslessness across the swap: keys served by the fresh
+                // generation round-trip through its batch decoder.
+                let generation = store.generation(r.shard);
+                let mut decode_scratch = hope::DecodeScratch::new();
+                let fast_dec = generation.hope().fast_decoder();
+                let sample: Vec<&Vec<u8>> = shadow
+                    .keys()
+                    .filter(|k| store.shard_of(k) == r.shard)
+                    .step_by(97)
+                    .take(32)
+                    .collect();
+                let encoded: Vec<hope::EncodedKey> =
+                    sample.iter().map(|k| generation.hope().encode(k)).collect();
+                let batch = fast_dec
+                    .decode_batch_keys(&encoded, &mut decode_scratch)
+                    .expect("swap produced an undecodable encoding");
+                for (k, back) in sample.iter().zip(batch.iter()) {
+                    assert_eq!(back, k.as_slice(), "swap broke encode→decode round-trip");
+                }
                 println!(
                     "# op {:>8}: shard {} swapped epoch {} -> {} (observed CPR {:.3} vs baseline {:.3}; {} keys re-encoded, {} writes replayed)",
                     i + 1,

@@ -1,39 +1,65 @@
-//! `perf_baseline` — the repo's recorded encode-performance trajectory.
+//! `perf_baseline` — the repo's recorded encode/decode-performance
+//! trajectory.
 //!
-//! Runs the fig8-style encode microbench across all six schemes on the
-//! Email corpus and times three implementations of the per-key encode hot
-//! path:
+//! Runs the fig8-style microbench across all six schemes on the Email
+//! corpus and times the hot paths of three subsystems:
 //!
-//! * **generic-alloc** — the hot path as it existed before the fused
-//!   fast path: generic dictionary walk plus a fresh `EncodedKey`
-//!   allocation per call ([`hope::Encoder::encode_generic`]);
-//! * **generic-reuse** — the generic walk into a reused writer
-//!   (isolates the dictionary-lookup cost from the allocation cost);
-//! * **fast** — the shipped hot path: [`hope::Hope::encode_to`] with a
-//!   reused scratch, taking the fused code table where the scheme has one.
+//! * **encode** (`BENCH_encode.json`) — three implementations of the
+//!   per-key encode loop:
+//!   - *generic-alloc* — the hot path as it existed before the fast
+//!     paths: generic dictionary walk plus a fresh `EncodedKey`
+//!     allocation per call ([`hope::Encoder::encode_generic`]);
+//!   - *generic-reuse* — the generic walk into a reused writer (isolates
+//!     the dictionary-lookup cost from the allocation cost);
+//!   - *fast* — the shipped hot path: [`hope::Hope::encode_to`] with a
+//!     reused scratch, taking the fused code table (array schemes) or
+//!     the prefix automaton (trie schemes).
+//! * **decode** (`BENCH_decode.json`, `"schemes"`) — the bit-walk
+//!   reference decoder, allocating and scratch-reusing
+//!   ([`hope::Decoder::decode`] / `decode_to`), against the byte-table
+//!   [`hope::FastDecoder`] (`decode_to` and `decode_batch`).
+//! * **scan** (`BENCH_decode.json`, `"scan"`) — `hope_store` bounded
+//!   range queries: the allocating `range()` against the zero-allocation
+//!   `range_with()` visitor, in ns per hit.
 //!
-//! Results are written to `BENCH_encode.json` (override with `--out
-//! PATH`), giving future PRs a perf point to hold themselves to; see
-//! DESIGN.md "Performance guide" for how to read the file. The binary
-//! exits non-zero when the Single-Char fast path fails the headline
-//! target (≥ 2× the generic-alloc path).
+//! Output paths default to `BENCH_encode.json` / `BENCH_decode.json`
+//! (override with `--out PATH` / `--out-decode PATH`); see DESIGN.md
+//! "Reading BENCH_*.json". The binary exits non-zero when a headline
+//! target fails:
+//!
+//! * Single-Char fast encode ≥ 2× generic-alloc;
+//! * 3-Grams and 4-Grams fast encode ≥ 1.5× generic-alloc (the trie
+//!   prefix automaton against the bitmap-trie walk);
+//! * Single-Char batch decode (the scan shape) ≥ 1.5× the allocating
+//!   bit walk.
 //!
 //! Usage: `cargo run --release -p hope_bench --bin perf_baseline
-//!         [-- --keys N --quick --out BENCH_encode.json]`
+//!         [-- --keys N --quick --out BENCH_encode.json --out-decode
+//!         BENCH_decode.json]`
 
 use std::hint::black_box;
 
-use hope::{EncodeScratch, Hope, Scheme};
+use hope::{DecodeScratch, EncodeScratch, EncodedKey, Hope, Scheme};
 use hope_bench::{build_hope, load_dataset, ns_per_op, time, BenchConfig};
+use hope_store::{HopeStore, StoreConfig};
 use hope_workloads::Dataset;
 
 /// Headline target: fast-path Single-Char encode throughput vs the
 /// generic allocating walk.
 const TARGET_SPEEDUP: f64 = 2.0;
 
-/// Median-of-3 nanoseconds per source char for one encode loop.
+/// Headline target for the trie schemes (3/4-Grams): prefix-automaton
+/// encode throughput vs the generic allocating walk.
+const TARGET_TRIE_SPEEDUP: f64 = 1.5;
+
+/// Headline target: Single-Char byte-table **batch** decode (the scan
+/// shape) vs the allocating bit walk.
+const TARGET_DECODE_SPEEDUP: f64 = 1.5;
+
+/// Median-of-5 nanoseconds per source char for one loop (medians damp
+/// the allocator and frequency noise of shared machines).
 fn measure(chars: usize, mut run: impl FnMut() -> usize) -> f64 {
-    let mut runs: Vec<f64> = (0..3)
+    let mut runs: Vec<f64> = (0..5)
         .map(|_| {
             let (bits, d) = time(&mut run);
             assert!(black_box(bits) > 0 || chars == 0);
@@ -41,18 +67,35 @@ fn measure(chars: usize, mut run: impl FnMut() -> usize) -> f64 {
         })
         .collect();
     runs.sort_by(f64::total_cmp);
-    runs[1]
+    runs[2]
 }
 
 struct SchemeRow {
     scheme: &'static str,
     dict_entries: usize,
     fast_path: bool,
+    fast_kind: &'static str,
     cpr: f64,
     generic_alloc: f64,
     generic_reuse: f64,
     fast: f64,
     dict_kb: f64,
+}
+
+struct DecodeRow {
+    scheme: &'static str,
+    walk_alloc: f64,
+    walk_reuse: f64,
+    fast: f64,
+    batch: f64,
+    table_states: usize,
+    table_kb: f64,
+}
+
+struct ScanStats {
+    hits: usize,
+    range_alloc: f64,
+    range_with: f64,
 }
 
 fn bench_scheme(hope: &Hope, keys: &[Vec<u8>]) -> (f64, f64, f64) {
@@ -86,34 +129,130 @@ fn bench_scheme(hope: &Hope, keys: &[Vec<u8>]) -> (f64, f64, f64) {
     (generic_alloc, generic_reuse, fast)
 }
 
+fn bench_decode(hope: &Hope, keys: &[Vec<u8>]) -> DecodeRow {
+    let chars: usize = keys.iter().map(|k| k.len()).sum();
+    let encoded: Vec<EncodedKey> = keys.iter().map(|k| hope.encode(k)).collect();
+    let walk = hope.decoder();
+    let fast = hope.fast_decoder();
+
+    let walk_alloc =
+        measure(chars, || encoded.iter().map(|e| walk.decode(e).expect("valid").len()).sum());
+
+    let mut scratch = DecodeScratch::new();
+    let walk_reuse = measure(chars, || {
+        encoded.iter().map(|e| walk.decode_to(e, &mut scratch).expect("valid").len()).sum()
+    });
+
+    let fast_ns = measure(chars, || {
+        encoded.iter().map(|e| fast.decode_to(e, &mut scratch).expect("valid").len()).sum()
+    });
+
+    // Scan-shaped batches: decode hits in blocks of 64 into one flat
+    // buffer, as a range scan would hand them over.
+    let batch = measure(chars, || {
+        let mut total = 0usize;
+        for block in encoded.chunks(64) {
+            let b = fast.decode_batch_keys(block, &mut scratch).expect("valid");
+            total += b.iter().map(|k| k.len()).sum::<usize>();
+        }
+        total
+    });
+
+    DecodeRow {
+        scheme: hope.scheme().name(),
+        walk_alloc,
+        walk_reuse,
+        fast: fast_ns,
+        batch,
+        table_states: fast.states(),
+        table_kb: fast.memory_bytes() as f64 / 1024.0,
+    }
+}
+
+/// Store scan trajectory: allocating `range()` vs zero-alloc
+/// `range_with()` over bounded scans of ~64 hits each.
+fn bench_scan(keys: &[Vec<u8>]) -> ScanStats {
+    let mut sorted = keys.to_vec();
+    sorted.sort();
+    sorted.dedup();
+    let pairs = sorted.iter().enumerate().map(|(i, k)| (k.clone(), i as u64));
+    let store = HopeStore::build(StoreConfig::default(), pairs).expect("store build");
+    let span = 64usize;
+    let starts: Vec<usize> =
+        (0..sorted.len().saturating_sub(span)).step_by(97).take(2_000).collect();
+    let hits: usize = starts.len() * span;
+
+    // `measure` divides by its op count and asserts the loop's return is
+    // the hit total, so both scan shapes share the encode-side protocol
+    // (median-of-5, total_cmp sort) with a per-hit divisor.
+    let range_alloc = measure(hits, || {
+        let mut n = 0usize;
+        for &s in &starts {
+            n += store.range(&sorted[s], &sorted[s + span - 1], span).len();
+        }
+        assert_eq!(n, hits);
+        n
+    });
+
+    let range_with = measure(hits, || {
+        let mut n = 0usize;
+        let mut bytes = 0usize;
+        for &s in &starts {
+            n += store.range_with(&sorted[s], &sorted[s + span - 1], span, |k, _v| {
+                bytes += k.len();
+            });
+        }
+        black_box(bytes);
+        assert_eq!(n, hits);
+        n
+    });
+
+    ScanStats { hits, range_alloc, range_with }
+}
+
+fn out_flag(cfg: &BenchConfig, flag: &str, default: &str) -> String {
+    cfg.flags
+        .iter()
+        .position(|f| f == flag)
+        .and_then(|i| cfg.flags.get(i + 1).cloned())
+        .unwrap_or_else(|| default.to_string())
+}
+
 fn main() {
     let cfg = BenchConfig::from_args();
-    let out_path = cfg
-        .flags
-        .iter()
-        .position(|f| f == "--out")
-        .and_then(|i| cfg.flags.get(i + 1).cloned())
-        .unwrap_or_else(|| "BENCH_encode.json".to_string());
+    let out_path = out_flag(&cfg, "--out", "BENCH_encode.json");
+    let out_decode = out_flag(&cfg, "--out-decode", "BENCH_decode.json");
 
     let keys = load_dataset(Dataset::Email, &cfg);
     let sample = cfg.sample(&keys);
 
     println!("# perf_baseline: encode hot-path trajectory (email, {} keys)", keys.len());
     println!(
-        "{:14} {:>9} {:>6} {:>14} {:>14} {:>10} {:>9}",
-        "scheme", "dict", "fast?", "generic-alloc", "generic-reuse", "fast", "speedup"
+        "{:14} {:>9} {:>12} {:>14} {:>14} {:>10} {:>9}",
+        "scheme", "dict", "fast-kind", "generic-alloc", "generic-reuse", "fast", "speedup"
     );
 
     let mut rows: Vec<SchemeRow> = Vec::new();
+    let mut decode_rows: Vec<DecodeRow> = Vec::new();
     for scheme in Scheme::ALL {
         let target = scheme.fixed_dict_size().unwrap_or(1 << 16);
         let hope = build_hope(scheme, target, &sample);
         let st = hope::stats::measure(&hope, &keys);
         let (generic_alloc, generic_reuse, fast) = bench_scheme(&hope, &keys);
+        if let Some((states, fallbacks)) = hope.encoder().fast().and_then(|f| f.automaton_stats()) {
+            eprintln!(
+                "# {}: automaton {} states ({:.1} KiB), {} fallback edges",
+                scheme.name(),
+                states,
+                hope.encoder().fast().map_or(0, |f| f.memory_bytes()) as f64 / 1024.0,
+                fallbacks
+            );
+        }
         let row = SchemeRow {
             scheme: scheme.name(),
             dict_entries: hope.dict_entries(),
             fast_path: hope.encoder().fast().is_some(),
+            fast_kind: hope.encoder().fast().map_or("none", |f| f.kind()),
             cpr: st.cpr(),
             generic_alloc,
             generic_reuse,
@@ -121,26 +260,72 @@ fn main() {
             dict_kb: hope.dict_memory_bytes() as f64 / 1024.0,
         };
         println!(
-            "{:14} {:>9} {:>6} {:>11.2}ns {:>11.2}ns {:>7.2}ns {:>8.2}x",
+            "{:14} {:>9} {:>12} {:>11.2}ns {:>11.2}ns {:>7.2}ns {:>8.2}x",
             row.scheme,
             row.dict_entries,
-            if row.fast_path { "yes" } else { "no" },
+            row.fast_kind,
             row.generic_alloc,
             row.generic_reuse,
             row.fast,
             row.generic_alloc / row.fast,
         );
         rows.push(row);
+        decode_rows.push(bench_decode(&hope, &keys));
     }
 
-    let single = rows.iter().find(|r| r.scheme == "Single-Char").expect("single-char row");
-    let speedup = single.generic_alloc / single.fast;
-    let pass = speedup >= TARGET_SPEEDUP;
-
-    write_json(&out_path, &cfg, &rows, speedup, pass);
-    println!("# wrote {out_path}");
+    println!("\n# decode trajectory (ns per source char)");
     println!(
-        "# single-char fast-path speedup: {speedup:.2}x (target >= {TARGET_SPEEDUP:.1}x) — {}",
+        "{:14} {:>12} {:>12} {:>10} {:>10} {:>8} {:>9}",
+        "scheme", "walk-alloc", "walk-reuse", "fast", "batch", "states", "speedup"
+    );
+    for r in &decode_rows {
+        println!(
+            "{:14} {:>10.2}ns {:>10.2}ns {:>8.2}ns {:>8.2}ns {:>8} {:>8.2}x",
+            r.scheme,
+            r.walk_alloc,
+            r.walk_reuse,
+            r.fast,
+            r.batch,
+            r.table_states,
+            r.walk_alloc / r.fast,
+        );
+    }
+
+    println!("\n# store scan trajectory (ns per hit)");
+    let scan = bench_scan(&keys);
+    println!(
+        "{:>8} hits: range() {:.1} ns/hit, range_with() {:.1} ns/hit ({:.2}x)",
+        scan.hits,
+        scan.range_alloc,
+        scan.range_with,
+        scan.range_alloc / scan.range_with
+    );
+
+    // Headline gates.
+    let speed = |name: &str| {
+        let r = rows.iter().find(|r| r.scheme == name).expect("scheme row");
+        r.generic_alloc / r.fast
+    };
+    let single = speed("Single-Char");
+    let three = speed("3-Grams");
+    let four = speed("4-Grams");
+    let dec_single = decode_rows
+        .iter()
+        .find(|r| r.scheme == "Single-Char")
+        .map(|r| r.walk_alloc / r.batch)
+        .expect("decode row");
+    let pass = single >= TARGET_SPEEDUP
+        && three >= TARGET_TRIE_SPEEDUP
+        && four >= TARGET_TRIE_SPEEDUP
+        && dec_single >= TARGET_DECODE_SPEEDUP;
+
+    write_encode_json(&out_path, &cfg, &rows, single, three, four, pass);
+    write_decode_json(&out_decode, &cfg, &decode_rows, &scan, dec_single, pass);
+    println!("# wrote {out_path} and {out_decode}");
+    println!(
+        "# single-char encode {single:.2}x (>= {TARGET_SPEEDUP:.1}), 3-grams {three:.2}x / \
+         4-grams {four:.2}x (>= {TARGET_TRIE_SPEEDUP:.1}), single-char batch decode \
+         {dec_single:.2}x (>= {TARGET_DECODE_SPEEDUP:.1}) — {}",
         if pass { "PASS" } else { "FAIL" }
     );
     if !pass {
@@ -148,25 +333,38 @@ fn main() {
     }
 }
 
-/// Hand-rolled JSON writer (the workspace builds offline; no serde).
-fn write_json(path: &str, cfg: &BenchConfig, rows: &[SchemeRow], speedup: f64, pass: bool) {
+/// Hand-rolled JSON writers (the workspace builds offline; no serde).
+fn write_encode_json(
+    path: &str,
+    cfg: &BenchConfig,
+    rows: &[SchemeRow],
+    single: f64,
+    three: f64,
+    four: f64,
+    pass: bool,
+) {
     let mut s = String::new();
     s.push_str("{\n");
     s.push_str("  \"bench\": \"perf_baseline\",\n  \"dataset\": \"email\",\n");
     s.push_str(&format!("  \"keys\": {},\n  \"seed\": {},\n", cfg.keys, cfg.seed));
     s.push_str(&format!("  \"quick\": {},\n", cfg.quick));
     s.push_str(&format!("  \"target_single_char_speedup\": {TARGET_SPEEDUP},\n"));
-    s.push_str(&format!("  \"single_char_speedup\": {speedup:.4},\n"));
+    s.push_str(&format!("  \"target_trie_speedup\": {TARGET_TRIE_SPEEDUP},\n"));
+    s.push_str(&format!("  \"single_char_speedup\": {single:.4},\n"));
+    s.push_str(&format!("  \"three_grams_speedup\": {three:.4},\n"));
+    s.push_str(&format!("  \"four_grams_speedup\": {four:.4},\n"));
     s.push_str(&format!("  \"pass\": {pass},\n"));
     s.push_str("  \"units\": \"ns_per_source_char\",\n  \"schemes\": [\n");
     for (i, r) in rows.iter().enumerate() {
         s.push_str(&format!(
             "    {{\"scheme\": \"{}\", \"dict_entries\": {}, \"fast_path\": {}, \
-             \"cpr\": {:.4}, \"generic_alloc\": {:.4}, \"generic_reuse\": {:.4}, \
-             \"fast\": {:.4}, \"speedup_vs_generic_alloc\": {:.4}, \"dict_kb\": {:.1}}}{}\n",
+             \"fast_kind\": \"{}\", \"cpr\": {:.4}, \"generic_alloc\": {:.4}, \
+             \"generic_reuse\": {:.4}, \"fast\": {:.4}, \
+             \"speedup_vs_generic_alloc\": {:.4}, \"dict_kb\": {:.1}}}{}\n",
             r.scheme,
             r.dict_entries,
             r.fast_path,
+            r.fast_kind,
             r.cpr,
             r.generic_alloc,
             r.generic_reuse,
@@ -178,4 +376,52 @@ fn write_json(path: &str, cfg: &BenchConfig, rows: &[SchemeRow], speedup: f64, p
     }
     s.push_str("  ]\n}\n");
     std::fs::write(path, s).expect("write BENCH_encode.json");
+}
+
+fn write_decode_json(
+    path: &str,
+    cfg: &BenchConfig,
+    rows: &[DecodeRow],
+    scan: &ScanStats,
+    dec_single: f64,
+    pass: bool,
+) {
+    let mut s = String::new();
+    s.push_str("{\n");
+    s.push_str("  \"bench\": \"perf_baseline\",\n  \"dataset\": \"email\",\n");
+    s.push_str(&format!("  \"keys\": {},\n  \"seed\": {},\n", cfg.keys, cfg.seed));
+    s.push_str(&format!("  \"quick\": {},\n", cfg.quick));
+    s.push_str(&format!(
+        "  \"target_single_char_batch_decode_speedup\": {TARGET_DECODE_SPEEDUP},\n"
+    ));
+    s.push_str(&format!("  \"single_char_batch_decode_speedup\": {dec_single:.4},\n"));
+    s.push_str(&format!("  \"pass\": {pass},\n"));
+    s.push_str("  \"units\": \"ns_per_source_char\",\n  \"schemes\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        s.push_str(&format!(
+            "    {{\"scheme\": \"{}\", \"walk_alloc\": {:.4}, \"walk_reuse\": {:.4}, \
+             \"fast\": {:.4}, \"batch\": {:.4}, \"speedup_vs_walk_alloc\": {:.4}, \
+             \"table_states\": {}, \"table_kb\": {:.1}}}{}\n",
+            r.scheme,
+            r.walk_alloc,
+            r.walk_reuse,
+            r.fast,
+            r.batch,
+            r.walk_alloc / r.fast,
+            r.table_states,
+            r.table_kb,
+            if i + 1 < rows.len() { "," } else { "" },
+        ));
+    }
+    s.push_str("  ],\n");
+    s.push_str(&format!(
+        "  \"scan\": {{\"units\": \"ns_per_hit\", \"hits\": {}, \"range_alloc\": {:.4}, \
+         \"range_with\": {:.4}, \"speedup\": {:.4}}}\n",
+        scan.hits,
+        scan.range_alloc,
+        scan.range_with,
+        scan.range_alloc / scan.range_with
+    ));
+    s.push_str("}\n");
+    std::fs::write(path, s).expect("write BENCH_decode.json");
 }

@@ -232,6 +232,16 @@ impl AnyTree {
         }
     }
 
+    /// Allocation-free scan: append up to `count` values to a reused
+    /// buffer (the YCSB-E hot loop of `fig16` runs on this).
+    pub fn scan_into(&self, start: &[u8], count: usize, out: &mut Vec<u64>) {
+        match self {
+            AnyTree::Art(t) => t.scan_into(start, count, out),
+            AnyTree::Hot(t) => t.scan_into(start, count, out),
+            AnyTree::BTree(t) | AnyTree::PrefixBTree(t) => t.scan_into(start, count, out),
+        }
+    }
+
     /// Index memory. For ART the leaf records stand in for the value
     /// pointers (8 B each) plus key bytes; HOT counts its partial-key
     /// compound nodes plus 8 B of value pointer per key (the record heap's
@@ -277,7 +287,7 @@ impl PreparedKeys {
 
     /// Allocation-free query encoding: returns the encoded bytes from the
     /// scratch buffer, or the key itself when uncompressed. Compressed
-    /// keys take the fused fast path when the scheme has one.
+    /// keys take the scheme's fast path (fused table or automaton).
     #[inline]
     pub fn encode_query_scratch<'a>(
         &self,

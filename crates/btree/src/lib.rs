@@ -373,22 +373,39 @@ impl BPlusTree {
 
     /// Range scan: values of up to `count` keys `>= start`, in key order.
     pub fn scan(&self, start: &[u8], count: usize) -> Vec<u64> {
-        self.scan_bounded(start, None, count)
+        let mut out = Vec::with_capacity(count.min(64));
+        self.scan_bounded(start, None, count, &mut out);
+        out
+    }
+
+    /// Allocation-free [`BPlusTree::scan`]: append up to `count` values to
+    /// a caller-owned buffer (scan loops reuse one across probes).
+    pub fn scan_into(&self, start: &[u8], count: usize, out: &mut Vec<u64>) {
+        self.scan_bounded(start, None, count, out);
     }
 
     /// Bounded range scan: values of up to `limit` keys in `low..=high`
     /// (inclusive on both ends), in key order.
     pub fn range(&self, low: &[u8], high: &[u8], limit: usize) -> Vec<u64> {
-        if low > high {
-            return Vec::new();
-        }
-        self.scan_bounded(low, Some(high), limit)
+        let mut out = Vec::with_capacity(limit.min(64));
+        self.range_into(low, high, limit, &mut out);
+        out
     }
 
-    /// Leaf-chain walk from the first key `>= start`, stopping at `count`
-    /// values or (when set) the first key `> high`.
-    fn scan_bounded(&self, start: &[u8], high: Option<&[u8]>, count: usize) -> Vec<u64> {
-        let mut out = Vec::with_capacity(count.min(64));
+    /// Allocation-free [`BPlusTree::range`]: append up to `limit` values
+    /// to a caller-owned buffer (scan loops reuse one across probes).
+    pub fn range_into(&self, low: &[u8], high: &[u8], limit: usize, out: &mut Vec<u64>) {
+        if low > high {
+            return;
+        }
+        self.scan_bounded(low, Some(high), limit, out);
+    }
+
+    /// Leaf-chain walk from the first key `>= start`, appending to `out`
+    /// until `count` values were emitted or (when set) the first key
+    /// `> high` is reached.
+    fn scan_bounded(&self, start: &[u8], high: Option<&[u8]>, count: usize, out: &mut Vec<u64>) {
+        let stop = out.len().saturating_add(count);
         let mut at = self.root;
         while let Node::Inner(inner) = &self.nodes[at as usize] {
             let i = inner.seps.upper_bound(start);
@@ -399,22 +416,21 @@ impl BPlusTree {
             Node::Inner(_) => unreachable!(),
         };
         while let Node::Leaf(leaf) = &self.nodes[at as usize] {
-            while pos < leaf.keys.len() && out.len() < count {
+            while pos < leaf.keys.len() && out.len() < stop {
                 if let Some(h) = high {
                     if leaf.keys.cmp(pos, h) == std::cmp::Ordering::Greater {
-                        return out;
+                        return;
                     }
                 }
                 out.push(leaf.values[pos]);
                 pos += 1;
             }
-            if out.len() >= count || leaf.next == NO_NODE {
+            if out.len() >= stop || leaf.next == NO_NODE {
                 break;
             }
             at = leaf.next;
             pos = 0;
         }
-        out
     }
 }
 
@@ -435,6 +451,10 @@ impl hope::OrderedIndex for BPlusTree {
 
     fn range(&self, low: &[u8], high: &[u8], limit: usize) -> Vec<u64> {
         BPlusTree::range(self, low, high, limit)
+    }
+
+    fn range_into(&self, low: &[u8], high: &[u8], limit: usize, out: &mut Vec<u64>) {
+        BPlusTree::range_into(self, low, high, limit, out)
     }
 
     fn len(&self) -> usize {

@@ -265,7 +265,8 @@ impl BitWriter {
     }
 }
 
-/// Bit reader over an [`EncodedKey`], used by the verification decoder.
+/// Bit reader over an [`EncodedKey`], used by tests and diagnostics (the
+/// decoders walk raw padded bytes directly — see [`crate::decoder`]).
 #[derive(Debug)]
 pub struct BitReader<'a> {
     key: &'a EncodedKey,

@@ -134,7 +134,7 @@ impl HopeBuilder {
 
         Ok(Hope {
             scheme: self.scheme,
-            encoder: Encoder::new(dict, reuse_gram),
+            encoder: Encoder::with_intervals(dict, reuse_gram, &set, &codes),
             intervals: set,
             codes,
             timings: BuildTimings { symbol_select, code_assign, dictionary_build },
@@ -172,9 +172,9 @@ impl Hope {
     /// padded encoded bytes (exact bit length via
     /// [`EncodeScratch::bit_len`](crate::encoder::EncodeScratch::bit_len)).
     ///
-    /// This is the query-probe hot path: no per-key `Vec`, and the dense
-    /// array-dictionary schemes take the fused
-    /// [`FastEncoder`](crate::fast_encoder::FastEncoder) table.
+    /// This is the query-probe hot path: no per-key `Vec`, and every
+    /// scheme takes its [`FastEncoder`](crate::fast_encoder::FastEncoder)
+    /// table (fused code table or prefix automaton).
     #[inline]
     pub fn encode_to<'s>(
         &self,
@@ -227,11 +227,25 @@ impl Hope {
         &self.encoder
     }
 
-    /// Build the (optional) verification decoder for this dictionary.
+    /// Build the bit-walk reference decoder for this dictionary.
+    ///
+    /// Scan paths that decode many hits should prefer
+    /// [`Hope::fast_decoder`], whose byte-table loop is several times
+    /// faster and batches into a reused scratch.
     pub fn decoder(&self) -> Decoder {
         let symbols: Vec<Box<[u8]>> =
             (0..self.intervals.len()).map(|i| self.intervals.symbol(i).into()).collect();
         Decoder::new(&self.codes, symbols)
+    }
+
+    /// Build the byte-at-a-time table decoder for this dictionary (the
+    /// scan-path counterpart of the fast encoder), with the default
+    /// [`DECODER_STATE_BUDGET`](crate::decoder::DECODER_STATE_BUDGET).
+    /// Output is identical to [`Hope::decoder`].
+    pub fn fast_decoder(&self) -> crate::decoder::FastDecoder {
+        let symbols: Vec<Box<[u8]>> =
+            (0..self.intervals.len()).map(|i| self.intervals.symbol(i).into()).collect();
+        crate::decoder::FastDecoder::new(&self.codes, symbols, crate::decoder::DECODER_STATE_BUDGET)
     }
 
     /// Number of dictionary entries.

@@ -13,10 +13,12 @@
 //!   prefixes, leaves store codes);
 //! * [`sorted_dict`] — binary search over the boundary list (baseline).
 //!
-//! The array dictionaries additionally feed the fused fast-path code
-//! table of [`crate::fast_encoder::FastEncoder`], which collapses the
-//! lookup + code fetch into a single dense table load on the encode hot
-//! path; the other structures are served by the generic walk below.
+//! Every dictionary additionally feeds a [`crate::fast_encoder::FastEncoder`]
+//! fast path on the encode side: the array dictionaries collapse into a
+//! fused code table (one dense load per symbol), and the trie structures
+//! flatten into a prefix-automaton transition table built from the same
+//! interval division. The generic walk below remains the reference
+//! implementation and resolves the automaton's fallback edges.
 //!
 //! ```
 //! use hope::{HopeBuilder, Scheme};

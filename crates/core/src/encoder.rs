@@ -5,13 +5,15 @@
 //! The encoder keeps **two** implementations of the per-symbol loop and
 //! picks one per dictionary at construction time:
 //!
-//! * the **fast path** — a [`FastEncoder`] fused code table, available for
-//!   the dense array-dictionary schemes (Single-Char / Double-Char): one
-//!   table load per symbol, pre-packed `(code, len)` entries, no enum
-//!   dispatch (see [`crate::fast_encoder`]);
+//! * the **fast path** — a [`FastEncoder`] dense table covering all six
+//!   schemes: a fused code table for the array dictionaries (Single-Char /
+//!   Double-Char) and a flattened prefix automaton for the trie
+//!   dictionaries (3/4-Grams, ALM / ALM-Improved) — pre-packed
+//!   `(code, len)` entries, no enum dispatch (see [`crate::fast_encoder`]);
 //! * the **slow path** — the generic dictionary walk
 //!   ([`Encoder::encode_generic_into`]), which works for every dictionary
-//!   structure (bitmap-trie, ART, sorted baseline) and serves as the
+//!   structure (bitmap-trie, ART, sorted baseline), resolves the
+//!   automaton's budget-overflow fallback edges, and serves as the
 //!   reference the fast path is property-tested against.
 //!
 //! Both paths are allocation-free: they append to a caller-supplied
@@ -31,17 +33,17 @@
 //! dictionary **once** for the two keys' common prefix and resumes the
 //! second key from the recorded checkpoint.
 
-use crate::axis::lcp_len;
-use crate::bitpack::{BitWriter, EncodedKey};
+use crate::axis::{lcp_len, IntervalSet};
+use crate::bitpack::{BitWriter, Code, EncodedKey};
 use crate::dict::Dict;
-use crate::fast_encoder::FastEncoder;
+use crate::fast_encoder::{FastEncoder, AUTOMATON_STATE_BUDGET};
 
-/// Key encoder: owns the dictionary and, for the dense array-dictionary
-/// schemes, a precomputed [`FastEncoder`] fused code table.
+/// Key encoder: owns the dictionary and a precomputed [`FastEncoder`]
+/// table (fused code table or prefix automaton) when one can be built.
 #[derive(Debug)]
 pub struct Encoder {
     dict: Dict,
-    /// Fused fast-path table (Single-Char / Double-Char only).
+    /// Fast-path table: fused (array schemes) or automaton (trie schemes).
     fast: Option<FastEncoder>,
     /// Max dictionary boundary length: a lookup checkpoint at byte `p` is
     /// reusable for another key sharing `p + max_boundary_len` prefix bytes.
@@ -102,10 +104,35 @@ impl EncodeScratch {
 impl Encoder {
     /// Wrap a dictionary. `reuse_gram` is the scheme's maximum boundary
     /// length (1, 2, 3, 4) or `None` for variable-length-symbol schemes.
-    /// The fused fast-path table is materialized here when the dictionary
-    /// supports one.
+    /// Builds the fused array fast path when the dictionary supports one;
+    /// trie dictionaries get their prefix automaton via
+    /// [`Encoder::with_intervals`] (the builder's entry point), which has
+    /// the interval division the automaton is flattened from.
     pub fn new(dict: Dict, reuse_gram: Option<usize>) -> Self {
         let fast = FastEncoder::from_dict(&dict);
+        Encoder { dict, fast, reuse_gram }
+    }
+
+    /// Like [`Encoder::new`], but additionally flattens trie dictionaries
+    /// (bitmap-trie / ART) into a [`FastEncoder`] prefix automaton built
+    /// from the interval division, so every scheme gets a fast path.
+    ///
+    /// The n-gram dictionaries get the full state budget — their bounded
+    /// depth means even a 64K-entry dictionary tables completely, with
+    /// zero fallback edges. ALM's arbitrary-length boundaries can demand
+    /// unbounded state, so its ART dictionaries get a quarter budget:
+    /// past that point extra rows buy mostly cold fallback edges.
+    pub fn with_intervals(
+        dict: Dict,
+        reuse_gram: Option<usize>,
+        set: &IntervalSet,
+        codes: &[Code],
+    ) -> Self {
+        let fast = FastEncoder::from_dict(&dict).or_else(|| match &dict {
+            Dict::Bitmap(_) => FastEncoder::automaton_from(set, codes, AUTOMATON_STATE_BUDGET),
+            Dict::Art(_) => FastEncoder::automaton_from(set, codes, AUTOMATON_STATE_BUDGET / 4),
+            _ => None,
+        });
         Encoder { dict, fast, reuse_gram }
     }
 
@@ -114,7 +141,8 @@ impl Encoder {
         &self.dict
     }
 
-    /// The fused fast-path table, when this dictionary has one.
+    /// The fast-path table (fused or automaton), when this dictionary has
+    /// one.
     pub fn fast(&self) -> Option<&FastEncoder> {
         self.fast.as_ref()
     }
@@ -130,12 +158,24 @@ impl Encoder {
     }
 
     /// Encode `key`, appending to an existing writer (allocation reuse).
-    /// Takes the fused fast path when the dictionary has one.
+    /// Takes the fast path (fused table or prefix automaton) when the
+    /// dictionary has one.
     #[inline]
     pub fn encode_into(&self, key: &[u8], w: &mut BitWriter) {
         match &self.fast {
-            Some(fast) => fast.encode_into(key, w),
+            Some(fast) => fast.encode_into(key, &self.dict, w),
             None => self.encode_generic_into(key, w),
+        }
+    }
+
+    /// Resolve one symbol at the head of `rest` — the fast table when
+    /// present, otherwise [`Dict::lookup`]. The per-symbol primitive of
+    /// the checkpoint-tracking walks (batch and pair encoding).
+    #[inline]
+    fn lookup_symbol(&self, rest: &[u8]) -> (Code, usize) {
+        match &self.fast {
+            Some(fast) => fast.lookup_symbol(rest, &self.dict),
+            None => self.dict.lookup(rest),
         }
     }
 
@@ -238,25 +278,28 @@ impl Encoder {
                 // One traversal serves both keys: record the deepest
                 // checkpoint usable by `high` while encoding `low`.
                 let shared = lcp_len(low, high);
-                let resume = if let Some(fast) = &self.fast {
+                let fixed = self.fast.as_ref().and_then(|f| f.fixed_gram());
+                let resume = if let (Some(fast), Some(fg)) = (&self.fast, fixed) {
                     // Fixed-gram consumption is deterministic (every
                     // lookup consumes exactly `gram` bytes until the
                     // tail), so the deepest safely-aligned checkpoint —
                     // the largest multiple of `gram` at most
                     // `shared - gram` — is known a priori and both keys
-                    // take the fused table.
-                    debug_assert_eq!(fast.gram(), gram);
+                    // take the fused table. Only the array tables have
+                    // this property; the automaton's symbols are
+                    // variable-length and use the checkpoint walk below.
+                    debug_assert_eq!(fg, gram);
                     let bytes = if shared >= 2 * gram { (shared - gram) / gram * gram } else { 0 };
-                    fast.encode_into(&low[..bytes], w);
+                    fast.encode_into(&low[..bytes], &self.dict, w);
                     let bits = w.bit_len();
-                    fast.encode_into(&low[bytes..], w);
+                    fast.encode_into(&low[bytes..], &self.dict, w);
                     (bytes, bits)
                 } else {
                     let mut resume = (0usize, 0usize); // (source bytes, bits)
                     let mut rest = low;
                     let mut consumed = 0usize;
                     while !rest.is_empty() {
-                        let (code, n) = self.dict.lookup(rest);
+                        let (code, n) = self.lookup_symbol(rest);
                         w.put(code);
                         consumed += n;
                         rest = &rest[n..];
@@ -298,7 +341,7 @@ impl Encoder {
         let mut rest = first;
         let mut consumed_total = 0usize;
         while !rest.is_empty() {
-            let (code, consumed) = self.dict.lookup(rest);
+            let (code, consumed) = self.lookup_symbol(rest);
             w.put(code);
             consumed_total += consumed;
             rest = &rest[consumed..];
@@ -368,7 +411,7 @@ mod tests {
             Scheme::FourGrams => Some(4),
             _ => None,
         };
-        Encoder::new(dict, gram)
+        Encoder::with_intervals(dict, gram, &set, &codes)
     }
 
     fn sample() -> Vec<Vec<u8>> {
@@ -411,12 +454,22 @@ mod tests {
     }
 
     #[test]
-    fn fast_path_presence_matches_scheme() {
+    fn every_scheme_gets_a_fast_path() {
         let s = sample();
-        assert!(build_encoder(Scheme::SingleChar, &s).fast().is_some());
-        assert!(build_encoder(Scheme::DoubleChar, &s).fast().is_some());
-        assert!(build_encoder(Scheme::ThreeGrams, &s).fast().is_none());
-        assert!(build_encoder(Scheme::Alm, &s).fast().is_none());
+        for scheme in Scheme::ALL {
+            let enc = build_encoder(scheme, &s);
+            let fast = enc.fast().expect("fast path");
+            let expect_fixed = matches!(scheme, Scheme::SingleChar | Scheme::DoubleChar);
+            assert_eq!(fast.fixed_gram().is_some(), expect_fixed, "{scheme}");
+            assert_eq!(fast.automaton_stats().is_some(), !expect_fixed, "{scheme}");
+        }
+        // A plain `new` (no interval division available) keeps the generic
+        // walk for trie dictionaries — the automaton needs the boundaries.
+        let set = selector::select_intervals(Scheme::ThreeGrams, &s, 512).unwrap();
+        let weights = selector::access_weights(&set, &s);
+        let codes = CodeAssigner::HuTucker.assign(&weights);
+        let enc = Encoder::new(Dict::build(Scheme::ThreeGrams, &set, &codes), Some(3));
+        assert!(enc.fast().is_none());
     }
 
     #[test]

@@ -1,39 +1,78 @@
 //! Fast-path encoder (§4.2 + §6 fig. 8): precomputed dense code tables
-//! fused with bit-packing.
+//! fused with bit-packing — for **all six** schemes.
 //!
 //! The generic encode loop pays, per symbol: an enum dispatch into
 //! [`Dict`], the dictionary's own slot arithmetic, two
 //! parallel-array loads (code bits + code length), and the construction of
 //! a [`Code`] value that is immediately torn apart
-//! again by the bit writer. For the array-dictionary schemes (Single-Char,
-//! Double-Char) none of that is necessary: the dictionary is total over a
-//! dense index space, so the whole lookup can be *fused* into one table
-//! load whose entry is already in pack-ready form.
+//! again by the bit writer. A [`FastEncoder`] removes all of that by
+//! materializing, at build time, a dense table whose entries are already
+//! in pack-ready form. Two table shapes cover the six schemes:
 //!
-//! A [`FastEncoder`] materializes that table at build time:
+//! * **Fused code tables** — for the array-dictionary schemes the
+//!   dictionary is total over a dense index space, so the whole lookup
+//!   collapses into one table load:
+//!   - *Single-Char*: 256 entries, one per leading byte;
+//!   - *Double-Char*: a 65 536-entry table indexed by the leading byte
+//!     *pair* `(b0 << 8) | b1`, plus a 256-entry terminator table for a
+//!     trailing odd byte.
 //!
-//! * **Single-Char** — 256 entries, one per leading byte;
-//! * **Double-Char** — a 65 536-entry table indexed by the leading byte
-//!   *pair* `(b0 << 8) | b1`, plus a 256-entry terminator table for a
-//!   trailing odd byte.
+//!   Each entry packs `(code bits << 8) | code length` into a single
+//!   `u64`, so the per-symbol work is one load, one shift, one mask, and
+//!   the bit-writer append. Codes longer than 56 bits cannot be packed;
+//!   [`FastEncoder::from_dict`] then declines (returns `None`) and the
+//!   encoder keeps the generic walk — possible only under extreme
+//!   Hu-Tucker skew, and always correct.
 //!
-//! Each entry packs `(code bits << 8) | code length` into a single `u64`,
-//! so the per-symbol work in [`FastEncoder::encode_into`] is one load, one
-//! shift, one mask, and the bit-writer append. Codes longer than 56 bits
-//! cannot be packed; [`FastEncoder::from_dict`] then declines (returns
-//! `None`) and the encoder keeps the generic walk — possible only under
-//! extreme Hu-Tucker skew, and always correct.
+//! * **Prefix automaton** — the trie-dictionary schemes (3/4-Grams on the
+//!   bitmap trie, ALM / ALM-Improved on ART) have no dense index space,
+//!   but their floor lookup *is* a prefix walk, so it flattens into a
+//!   dense transition table `state × next byte → entry` built by
+//!   [`FastEncoder::automaton_from`]. A state is a byte prefix along
+//!   which the lookup outcome is still undecided; an entry either
+//!   *advances* to a deeper state, *emits* a pack-ready
+//!   `(code, length, symbol length)` triple (when no dictionary boundary
+//!   extends the prefix, the floor interval is fully determined), or
+//!   marks a *fallback* edge. States are allocated breadth-first up to
+//!   [`AUTOMATON_STATE_BUDGET`] (2 KiB per state), so the hottest —
+//!   shallowest — prefixes always get table rows; cold tails past the
+//!   budget, over-long codes and over-long symbols resolve through a
+//!   fallback edge that performs one ordinary [`Dict::lookup`]. The
+//!   per-symbol cost is one dependent table load per matched byte: no
+//!   bitmap ranks, no adaptive-node searches, no `Code` values.
 //!
-//! The variable-length-symbol schemes (3/4-Grams, ALM) keep the generic
-//! trie walk: their dictionaries are not dense, so there is no table to
-//! fuse. See DESIGN.md, "Performance guide".
+//! Both shapes produce output bit-identical to the generic dictionary
+//! walk (property-tested across all six schemes in
+//! `tests/fast_encoder_equiv.rs`). See DESIGN.md, "Performance guide".
 
+use crate::axis::IntervalSet;
 use crate::bitpack::{BitWriter, Code};
 use crate::dict::Dict;
 use crate::selector::double_char::DOUBLE_CHAR_ENTRIES;
 
-/// Maximum code length a packed `(bits << 8) | len` entry can hold.
+/// Maximum code length a fused-table `(bits << 8) | len` entry can hold.
 const MAX_PACKED_LEN: u8 = 56;
+
+/// Maximum code length an automaton `(bits << 16) | (sym << 8) | len`
+/// entry can hold with the advance flag (bit 63) left clear.
+const MAX_AUTOMATON_CODE_LEN: u8 = 46;
+
+/// Default cap on the number of automaton states. One state is a 256-entry
+/// row of 8-byte entries (2 KiB), so 16 384 states bound the transition
+/// table at 32 MiB. The n-gram dictionaries sit far below the ceiling
+/// (on the email corpus a 64K-entry 4-Grams dictionary wants ~4.5K
+/// states and a 3-Grams ~800, both fully tabled with zero fallback
+/// edges); states are allocated breadth-first, so the shallow (hot)
+/// prefixes are always resident and only cold deep tails fall back to
+/// the generic walk.
+pub const AUTOMATON_STATE_BUDGET: usize = 16_384;
+
+/// Automaton entry tag: bit 63 set = advance to the state in the low bits.
+const ADVANCE_FLAG: u64 = 1 << 63;
+
+/// Automaton entry sentinel: resolve this symbol via the generic
+/// [`Dict::lookup`] (state budget exceeded, or unpackable code/symbol).
+const FALLBACK: u64 = u64::MAX;
 
 /// Pack a code into the fused-table entry form.
 fn pack(c: Code) -> u64 {
@@ -41,7 +80,27 @@ fn pack(c: Code) -> u64 {
     (c.bits << 8) | c.len as u64
 }
 
-/// The fused code table of one array-dictionary scheme.
+/// Pack an automaton *emit* entry: `(bits << 16) | (sym_len << 8) | len`,
+/// bit 63 clear. `None` when the code or symbol does not fit.
+fn pack_emit(c: Code, sym_len: usize) -> Option<u64> {
+    debug_assert!(sym_len >= 1, "symbols are non-empty (§3.2)");
+    (c.len <= MAX_AUTOMATON_CODE_LEN && sym_len <= u8::MAX as usize)
+        .then_some((c.bits << 16) | ((sym_len as u64) << 8) | c.len as u64)
+}
+
+/// The flattened prefix automaton of a trie-dictionary scheme.
+#[derive(Debug)]
+struct Automaton {
+    /// `trans[(state << 8) | byte]`: emit / advance / fallback entry.
+    trans: Box<[u64]>,
+    /// Per-state emit entry used when the source ends exactly at the
+    /// state's prefix (the dictionary's terminator case).
+    exhaust: Box<[u64]>,
+    /// Number of fallback edges in `trans` (diagnostics).
+    fallback_edges: usize,
+}
+
+/// The fused table of one scheme.
 #[derive(Debug)]
 enum FastTable {
     /// 256 entries: byte → packed code.
@@ -54,26 +113,34 @@ enum FastTable {
         /// Packed code of the one-byte terminator symbol per leading byte.
         term: Box<[u64]>,
     },
+    /// Dense prefix-automaton transition table (trie-dictionary schemes).
+    Automaton(Automaton),
 }
 
-/// Zero-allocation fast-path encoder over a precomputed dense code table.
+/// Zero-allocation fast-path encoder over a precomputed dense table.
 ///
-/// Built from an array dictionary by [`FastEncoder::from_dict`]; produces
-/// output bit-identical to the generic dictionary walk (the equivalence is
+/// Built by [`FastEncoder::from_dict`] (array dictionaries) or
+/// [`FastEncoder::automaton_from`] (trie dictionaries); produces output
+/// bit-identical to the generic dictionary walk (the equivalence is
 /// property-tested across all schemes in `tests/fast_encoder_equiv.rs`).
 ///
 /// ```
 /// use hope::{HopeBuilder, Scheme};
 ///
 /// let sample = vec![b"com.gmail@alice".to_vec(), b"com.gmail@bob".to_vec()];
-/// let hope = HopeBuilder::new(Scheme::SingleChar).build_from_sample(sample).unwrap();
-/// // Single-Char builds a fused table; encode() transparently uses it.
-/// assert!(hope.encoder().fast().is_some());
+/// let hope = HopeBuilder::new(Scheme::ThreeGrams)
+///     .dictionary_entries(256)
+///     .build_from_sample(sample)
+///     .unwrap();
+/// // Trie schemes flatten their dictionary into a prefix automaton;
+/// // encode() and encode_to() transparently use it.
+/// let enc = hope.encoder();
+/// assert!(enc.fast().is_some());
 ///
 /// // The fast path is bit-identical to the generic dictionary walk.
 /// let mut w = hope::bitpack::BitWriter::new();
-/// hope.encoder().fast().unwrap().encode_into(b"com.gmail@carol", &mut w);
-/// assert_eq!(w.finish(), hope.encoder().encode_generic(b"com.gmail@carol"));
+/// enc.fast().unwrap().encode_into(b"com.gmail@carol", enc.dict(), &mut w);
+/// assert_eq!(w.finish(), enc.encode_generic(b"com.gmail@carol"));
 /// ```
 #[derive(Debug)]
 pub struct FastEncoder {
@@ -81,9 +148,10 @@ pub struct FastEncoder {
 }
 
 impl FastEncoder {
-    /// Materialize the fused table for `dict`, or `None` when the
-    /// dictionary has no dense fast path (bitmap-trie / ART / sorted
-    /// baseline) or some code exceeds the 56-bit packed-entry limit.
+    /// Materialize the fused table for an array dictionary, or `None` when
+    /// the dictionary is not dense (bitmap-trie / ART / sorted baseline —
+    /// see [`FastEncoder::automaton_from`] for the trie structures) or
+    /// some code exceeds the 56-bit packed-entry limit.
     pub fn from_dict(dict: &Dict) -> Option<FastEncoder> {
         match dict {
             Dict::Single(d) => {
@@ -129,10 +197,108 @@ impl FastEncoder {
         }
     }
 
+    /// Flatten an interval division into a dense prefix automaton with at
+    /// most `max_states` transition rows (breadth-first, shallow prefixes
+    /// first). Returns `None` for degenerate inputs (`max_states == 0`, an
+    /// empty set, or a set that does not start at the axis origin).
+    ///
+    /// The automaton replays the dictionary's floor lookup: a state is a
+    /// byte prefix some boundary strictly extends (the outcome is still
+    /// undecided there); each `(state, byte)` entry *advances* when a
+    /// boundary strictly extends the extended prefix, and *emits* the
+    /// floor interval's `(code, symbol length)` otherwise — in the latter
+    /// case every source sharing that prefix has the same floor, so the
+    /// emitted symbol is exact regardless of later bytes. Edges past the
+    /// state budget (and entries whose code or symbol cannot be packed)
+    /// become fallback edges resolved by one generic [`Dict::lookup`].
+    pub fn automaton_from(
+        set: &IntervalSet,
+        codes: &[Code],
+        max_states: usize,
+    ) -> Option<FastEncoder> {
+        assert_eq!(set.len(), codes.len());
+        if max_states == 0 || set.is_empty() || set.boundary(0) != [0x00] {
+            return None;
+        }
+        // Work list doubles as the state table: processing order == id
+        // order, so transition rows land at `state * 256` in BFS order.
+        // Each state carries its prefix and the index range of boundaries
+        // that strictly extend it.
+        let mut states: Vec<(Vec<u8>, usize, usize)> = vec![(Vec::new(), 0, set.len())];
+        let mut trans: Vec<u64> = Vec::new();
+        let mut exhaust: Vec<u64> = Vec::new();
+        let mut fallback_edges = 0usize;
+        let mut q = Vec::new();
+        let mut s = 0usize;
+        while s < states.len() {
+            let (prefix, lo, hi) = states[s].clone();
+            let d = prefix.len();
+            // Source ends exactly at this prefix: emit its floor interval.
+            // (The root's entry is never consulted: the encode loop always
+            // reads at least one byte before it can exhaust the source.)
+            exhaust.push(if d == 0 {
+                FALLBACK
+            } else {
+                let f = set.floor_index(&prefix);
+                pack_emit(codes[f], set.symbol_len(f)).unwrap_or(FALLBACK)
+            });
+            let row = trans.len();
+            trans.resize(row + 256, 0);
+            // Boundaries in [lo, hi) strictly extend `prefix`, so they are
+            // at least d+1 bytes long and sorted by their byte at `d`.
+            let mut i = lo;
+            for b in 0..256usize {
+                let mut j = i;
+                while j < hi && set.boundary(j)[d] == b as u8 {
+                    j += 1;
+                }
+                q.clear();
+                q.extend_from_slice(&prefix);
+                q.push(b as u8);
+                // Boundaries strictly extending `q` = the group minus an
+                // exact match (which, sorted, can only be the first).
+                let eq = i < j && set.boundary(i).len() == d + 1;
+                let ext_lo = i + eq as usize;
+                trans[row + b] = if ext_lo < j {
+                    // The floor of a source with prefix `q` still depends
+                    // on later bytes: advance (or fall back past budget).
+                    if states.len() < max_states {
+                        states.push((q.clone(), ext_lo, j));
+                        ADVANCE_FLAG | (states.len() - 1) as u64
+                    } else {
+                        fallback_edges += 1;
+                        FALLBACK
+                    }
+                } else {
+                    // No boundary extends `q`: every source with this
+                    // prefix shares floor(q), and its symbol is at most
+                    // |q| bytes, so the emit is exact.
+                    let f = set.floor_index(&q);
+                    debug_assert!(set.symbol_len(f) <= q.len());
+                    pack_emit(codes[f], set.symbol_len(f)).unwrap_or_else(|| {
+                        fallback_edges += 1;
+                        FALLBACK
+                    })
+                };
+                i = j;
+            }
+            debug_assert_eq!(i, hi);
+            s += 1;
+        }
+        Some(FastEncoder {
+            table: FastTable::Automaton(Automaton {
+                trans: trans.into_boxed_slice(),
+                exhaust: exhaust.into_boxed_slice(),
+                fallback_edges,
+            }),
+        })
+    }
+
     /// Encode `key`, appending to `w`. Bit-identical to the generic walk
-    /// over the dictionary this table was built from.
+    /// over `dict` (the dictionary this table was built from); `dict` is
+    /// only consulted by automaton fallback edges.
     #[inline]
-    pub fn encode_into(&self, key: &[u8], w: &mut BitWriter) {
+    pub fn encode_into(&self, key: &[u8], dict: &Dict, w: &mut BitWriter) {
         match &self.table {
             FastTable::Single(t) => {
                 for &b in key {
@@ -151,14 +317,106 @@ impl FastEncoder {
                     w.put_bits(e >> 8, (e & 0xFF) as u32);
                 }
             }
+            FastTable::Automaton(a) => {
+                let mut pos = 0usize;
+                while pos < key.len() {
+                    let mut state = 0usize;
+                    let mut d = pos;
+                    loop {
+                        if d == key.len() {
+                            pos += a.emit_exhaust(state, &key[pos..], dict, w);
+                            break;
+                        }
+                        let e = a.trans[(state << 8) | key[d] as usize];
+                        if e & ADVANCE_FLAG == 0 {
+                            w.put_bits(e >> 16, (e & 0xFF) as u32);
+                            pos += ((e >> 8) & 0xFF) as usize;
+                            break;
+                        }
+                        if e == FALLBACK {
+                            let (code, n) = dict.lookup(&key[pos..]);
+                            w.put(code);
+                            pos += n;
+                            break;
+                        }
+                        state = (e & !ADVANCE_FLAG) as usize;
+                        d += 1;
+                    }
+                }
+            }
         }
     }
 
-    /// Symbol length of this table's dictionary grams (1 or 2).
-    pub fn gram(&self) -> usize {
+    /// Resolve **one** symbol at the head of `src`, like [`Dict::lookup`]
+    /// but through the fast table; returns the code and bytes consumed.
+    /// Used by the checkpoint-tracking walks (batch and pair encoding).
+    #[inline]
+    pub fn lookup_symbol(&self, src: &[u8], dict: &Dict) -> (Code, usize) {
+        debug_assert!(!src.is_empty());
         match &self.table {
-            FastTable::Single(_) => 1,
-            FastTable::Double { .. } => 2,
+            FastTable::Single(t) => {
+                let e = t[src[0] as usize];
+                (Code { bits: e >> 8, len: (e & 0xFF) as u8 }, 1)
+            }
+            FastTable::Double { pair, term } => {
+                if let [b0, b1, ..] = *src {
+                    let e = pair[(b0 as usize) << 8 | b1 as usize];
+                    (Code { bits: e >> 8, len: (e & 0xFF) as u8 }, 2)
+                } else {
+                    let e = term[src[0] as usize];
+                    (Code { bits: e >> 8, len: (e & 0xFF) as u8 }, 1)
+                }
+            }
+            FastTable::Automaton(a) => {
+                let mut state = 0usize;
+                let mut d = 0usize;
+                loop {
+                    if d == src.len() {
+                        let e = a.exhaust[state];
+                        if e == FALLBACK {
+                            return dict.lookup(src);
+                        }
+                        return unpack_emit(e);
+                    }
+                    let e = a.trans[(state << 8) | src[d] as usize];
+                    if e & ADVANCE_FLAG == 0 {
+                        return unpack_emit(e);
+                    }
+                    if e == FALLBACK {
+                        return dict.lookup(src);
+                    }
+                    state = (e & !ADVANCE_FLAG) as usize;
+                    d += 1;
+                }
+            }
+        }
+    }
+
+    /// Fixed symbol length of a fused array table (1 or 2), or `None` for
+    /// the prefix automaton, whose symbols are variable-length.
+    pub fn fixed_gram(&self) -> Option<usize> {
+        match &self.table {
+            FastTable::Single(_) => Some(1),
+            FastTable::Double { .. } => Some(2),
+            FastTable::Automaton(_) => None,
+        }
+    }
+
+    /// `(states, fallback edges)` of the prefix automaton, or `None` for
+    /// the fused array tables (diagnostics and bench reporting).
+    pub fn automaton_stats(&self) -> Option<(usize, usize)> {
+        match &self.table {
+            FastTable::Automaton(a) => Some((a.exhaust.len(), a.fallback_edges)),
+            _ => None,
+        }
+    }
+
+    /// Short name of the table shape (reports).
+    pub fn kind(&self) -> &'static str {
+        match &self.table {
+            FastTable::Single(_) => "fused-single",
+            FastTable::Double { .. } => "fused-double",
+            FastTable::Automaton(_) => "automaton",
         }
     }
 
@@ -167,8 +425,33 @@ impl FastEncoder {
         match &self.table {
             FastTable::Single(t) => t.len() * 8,
             FastTable::Double { pair, term } => (pair.len() + term.len()) * 8,
+            FastTable::Automaton(a) => (a.trans.len() + a.exhaust.len()) * 8,
         }
     }
+}
+
+impl Automaton {
+    /// Emit the exhaust entry of `state` (source ended inside the walk);
+    /// returns the bytes consumed.
+    #[inline]
+    fn emit_exhaust(&self, state: usize, rest: &[u8], dict: &Dict, w: &mut BitWriter) -> usize {
+        let e = self.exhaust[state];
+        if e == FALLBACK {
+            let (code, n) = dict.lookup(rest);
+            w.put(code);
+            n
+        } else {
+            w.put_bits(e >> 16, (e & 0xFF) as u32);
+            ((e >> 8) & 0xFF) as usize
+        }
+    }
+}
+
+/// Unpack an automaton emit entry into `(code, bytes consumed)`.
+#[inline]
+fn unpack_emit(e: u64) -> (Code, usize) {
+    debug_assert_eq!(e & ADVANCE_FLAG, 0);
+    (Code { bits: e >> 16, len: (e & 0xFF) as u8 }, ((e >> 8) & 0xFF) as usize)
 }
 
 #[cfg(test)]
@@ -177,7 +460,7 @@ mod tests {
     use crate::code_assign::CodeAssigner;
     use crate::selector::{self, Scheme};
 
-    fn build_dict(scheme: Scheme, sample: &[Vec<u8>]) -> Dict {
+    fn build_parts(scheme: Scheme, sample: &[Vec<u8>]) -> (Dict, IntervalSet, Vec<Code>) {
         let set = selector::select_intervals(scheme, sample, 1024).unwrap();
         let weights = selector::access_weights(&set, sample);
         let codes = if scheme.uses_hu_tucker() {
@@ -185,15 +468,43 @@ mod tests {
         } else {
             CodeAssigner::FixedLength.assign(&weights)
         };
-        Dict::build(scheme, &set, &codes)
+        let dict = Dict::build(scheme, &set, &codes);
+        (dict, set, codes)
+    }
+
+    fn build_dict(scheme: Scheme, sample: &[Vec<u8>]) -> Dict {
+        build_parts(scheme, sample).0
     }
 
     fn sample() -> Vec<Vec<u8>> {
         (0..100).map(|i| format!("com.gmail@user{i:03}").into_bytes()).collect()
     }
 
+    fn probes() -> Vec<&'static [u8]> {
+        vec![
+            b"".as_slice(),
+            b"a",
+            b"com.gmail@user042",
+            b"odd",
+            b"\x00\xff\x7f",
+            b"completely unrelated key material \xfe\xfd",
+        ]
+    }
+
+    /// Generic reference walk for equivalence checks.
+    fn generic(dict: &Dict, key: &[u8]) -> crate::bitpack::EncodedKey {
+        let mut w = BitWriter::new();
+        let mut rest = key;
+        while !rest.is_empty() {
+            let (code, n) = dict.lookup(rest);
+            w.put(code);
+            rest = &rest[n..];
+        }
+        w.finish()
+    }
+
     #[test]
-    fn array_schemes_build_a_table_others_do_not() {
+    fn array_schemes_build_a_fused_table_others_do_not() {
         let s = sample();
         assert!(FastEncoder::from_dict(&build_dict(Scheme::SingleChar, &s)).is_some());
         assert!(FastEncoder::from_dict(&build_dict(Scheme::DoubleChar, &s)).is_some());
@@ -207,25 +518,68 @@ mod tests {
         for scheme in [Scheme::SingleChar, Scheme::DoubleChar] {
             let dict = build_dict(scheme, &s);
             let fast = FastEncoder::from_dict(&dict).unwrap();
-            for key in [
-                b"".as_slice(),
-                b"a",
-                b"com.gmail@user042",
-                b"odd",
-                b"\x00\xff\x7f",
-                b"completely unrelated key material \xfe\xfd",
-            ] {
+            for key in probes() {
                 let mut w = BitWriter::new();
-                fast.encode_into(key, &mut w);
-                let got = w.finish();
+                fast.encode_into(key, &dict, &mut w);
+                assert_eq!(w.finish(), generic(&dict, key), "{scheme}: key {key:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn automaton_matches_generic_walk_on_trie_schemes() {
+        let s = sample();
+        for scheme in [Scheme::ThreeGrams, Scheme::FourGrams, Scheme::Alm, Scheme::AlmImproved] {
+            let (dict, set, codes) = build_parts(scheme, &s);
+            let fast = FastEncoder::automaton_from(&set, &codes, AUTOMATON_STATE_BUDGET).unwrap();
+            assert_eq!(fast.fixed_gram(), None);
+            assert_eq!(fast.kind(), "automaton");
+            let (states, _) = fast.automaton_stats().unwrap();
+            assert!(states >= 1);
+            for key in probes() {
                 let mut w = BitWriter::new();
+                fast.encode_into(key, &dict, &mut w);
+                assert_eq!(w.finish(), generic(&dict, key), "{scheme}: key {key:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn tiny_state_budget_still_encodes_identically_via_fallback() {
+        let s = sample();
+        for budget in [1usize, 2, 7] {
+            let (dict, set, codes) = build_parts(Scheme::ThreeGrams, &s);
+            let fast = FastEncoder::automaton_from(&set, &codes, budget).unwrap();
+            let (states, fallbacks) = fast.automaton_stats().unwrap();
+            assert!(states <= budget);
+            assert!(fallbacks > 0, "a tiny budget must produce fallback edges");
+            for key in probes() {
+                let mut w = BitWriter::new();
+                fast.encode_into(key, &dict, &mut w);
+                assert_eq!(w.finish(), generic(&dict, key), "budget {budget}: key {key:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn lookup_symbol_agrees_with_dict_lookup() {
+        let s = sample();
+        for scheme in Scheme::ALL {
+            let (dict, set, codes) = build_parts(scheme, &s);
+            let fast = FastEncoder::from_dict(&dict)
+                .or_else(|| FastEncoder::automaton_from(&set, &codes, 64))
+                .unwrap();
+            for key in probes() {
                 let mut rest = key;
                 while !rest.is_empty() {
-                    let (code, n) = dict.lookup(rest);
-                    w.put(code);
+                    assert_eq!(
+                        fast.lookup_symbol(rest, &dict),
+                        dict.lookup(rest),
+                        "{scheme}: rest {rest:?}"
+                    );
+                    let (_, n) = dict.lookup(rest);
                     rest = &rest[n..];
                 }
-                assert_eq!(got, w.finish(), "{scheme}: key {key:?}");
             }
         }
     }
@@ -239,13 +593,27 @@ mod tests {
     }
 
     #[test]
+    fn automaton_rejects_degenerate_inputs() {
+        let s = sample();
+        let (_, set, codes) = build_parts(Scheme::ThreeGrams, &s);
+        assert!(FastEncoder::automaton_from(&set, &codes, 0).is_none());
+        let empty = IntervalSet::default();
+        assert!(FastEncoder::automaton_from(&empty, &[], 16).is_none());
+    }
+
+    #[test]
     fn table_memory_and_gram() {
         let s = sample();
         let single = FastEncoder::from_dict(&build_dict(Scheme::SingleChar, &s)).unwrap();
-        assert_eq!(single.gram(), 1);
+        assert_eq!(single.fixed_gram(), Some(1));
         assert_eq!(single.memory_bytes(), 256 * 8);
+        assert!(single.automaton_stats().is_none());
         let double = FastEncoder::from_dict(&build_dict(Scheme::DoubleChar, &s)).unwrap();
-        assert_eq!(double.gram(), 2);
+        assert_eq!(double.fixed_gram(), Some(2));
         assert_eq!(double.memory_bytes(), (65536 + 256) * 8);
+        let (_, set, codes) = build_parts(Scheme::FourGrams, &s);
+        let auto = FastEncoder::automaton_from(&set, &codes, 64).unwrap();
+        let (states, _) = auto.automaton_stats().unwrap();
+        assert_eq!(auto.memory_bytes(), states * 256 * 8 + states * 8);
     }
 }

@@ -32,6 +32,19 @@ pub trait OrderedIndex: Send + Sync + std::fmt::Debug {
     /// Values of up to `limit` keys in `low..=high`, in key order.
     fn range(&self, low: &[u8], high: &[u8], limit: usize) -> Vec<u64>;
 
+    /// Append the values of up to `limit` keys in `low..=high` to `out`,
+    /// in key order — the allocation-free form of [`OrderedIndex::range`]
+    /// scan loops reuse a buffer with. For a fixed index state and fixed
+    /// bounds, growing `limit` must only *extend* the emitted sequence
+    /// (results are a stable prefix), which every ordered structure
+    /// satisfies naturally; `hope_store`'s scan retry loop relies on it.
+    ///
+    /// The default delegates to [`OrderedIndex::range`] (allocating);
+    /// backends override it to fill `out` directly.
+    fn range_into(&self, low: &[u8], high: &[u8], limit: usize, out: &mut Vec<u64>) {
+        out.extend(self.range(low, high, limit));
+    }
+
     /// Number of stored keys.
     fn len(&self) -> usize;
 
@@ -66,6 +79,13 @@ impl OrderedIndex for std::collections::BTreeMap<Vec<u8>, u64> {
         self.range(low.to_vec()..=high.to_vec()).take(limit).map(|(_, v)| *v).collect()
     }
 
+    fn range_into(&self, low: &[u8], high: &[u8], limit: usize, out: &mut Vec<u64>) {
+        if low > high {
+            return;
+        }
+        out.extend(self.range(low.to_vec()..=high.to_vec()).take(limit).map(|(_, v)| *v));
+    }
+
     fn len(&self) -> usize {
         std::collections::BTreeMap::len(self)
     }
@@ -92,6 +112,13 @@ mod tests {
         assert_eq!(ix.scan(b"a", 2), vec![10, 3]);
         assert_eq!(ix.range(b"a", b"ab", 10), vec![10, 3]);
         assert_eq!(ix.range(b"b", b"a", 10), Vec::<u64>::new());
+        // range_into appends to a reused buffer and matches range().
+        let mut buf = vec![99u64];
+        ix.range_into(b"a", b"ab", 10, &mut buf);
+        assert_eq!(buf, vec![99, 10, 3]);
+        buf.clear();
+        ix.range_into(b"b", b"a", 10, &mut buf);
+        assert!(buf.is_empty());
         assert!(ix.memory_bytes() > 0);
     }
 

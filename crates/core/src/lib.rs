@@ -55,6 +55,7 @@ pub mod stats;
 
 pub use bitpack::{Code, EncodedKey};
 pub use builder::{BuildTimings, Hope, HopeBuilder, HopeError};
+pub use decoder::{DecodeScratch, DecodedBatch, Decoder, FastDecoder};
 pub use encoder::{EncodeScratch, Encoder};
 pub use fast_encoder::FastEncoder;
 pub use index::OrderedIndex;

@@ -1,14 +1,22 @@
-//! Fast-path / generic-path equivalence: the fused-table encoder
-//! ([`hope::FastEncoder`], taken transparently by `encode`/`encode_to`)
-//! must be **bit-identical** to the generic dictionary walk
+//! Fast-path / generic-path equivalence: the fast encoder
+//! ([`hope::FastEncoder`], taken transparently by `encode`/`encode_to` —
+//! a fused code table for the array schemes, a prefix automaton for the
+//! trie schemes) must be **bit-identical** to the generic dictionary walk
 //! ([`hope::Encoder::encode_generic`]) for every scheme, every key — the
 //! fast path is an implementation detail, never a semantic change.
 //!
 //! Random samples build the dictionaries; random probe keys (including
 //! bytes never sampled — completeness covers them) are encoded through
-//! both paths, individually, pair-wise and in sorted batches.
+//! both paths, individually, pair-wise and in sorted batches. A second
+//! suite squeezes the automaton's state budget down to a handful of rows
+//! so the fallback edges (generic `Dict::lookup` per symbol) are
+//! exercised on random dictionaries too.
 
-use hope::{EncodeScratch, Hope, HopeBuilder, Scheme};
+use hope::bitpack::BitWriter;
+use hope::code_assign::CodeAssigner;
+use hope::dict::Dict;
+use hope::selector::{self};
+use hope::{EncodeScratch, FastEncoder, Hope, HopeBuilder, Scheme};
 use proptest::prelude::*;
 
 fn build(scheme: Scheme, sample: &[Vec<u8>]) -> Hope {
@@ -63,6 +71,38 @@ proptest! {
         for scheme in Scheme::ALL {
             let hope = build(scheme, &sample);
             check_equivalence(&hope, scheme, &probes);
+        }
+    }
+
+    /// Starved automata (1–12 states) must stay bit-identical: budget
+    /// overflow only reroutes symbols through the generic-walk fallback.
+    #[test]
+    fn tiny_automaton_budgets_stay_bit_identical(
+        sample in proptest::collection::vec(
+            proptest::collection::vec(any::<u8>(), 1..16), 1..16),
+        probes in proptest::collection::vec(
+            proptest::collection::vec(any::<u8>(), 0..24), 1..16),
+        budget in 1usize..12,
+    ) {
+        for scheme in [Scheme::ThreeGrams, Scheme::FourGrams, Scheme::AlmImproved] {
+            let set = selector::select_intervals(scheme, &sample, 128).unwrap();
+            let weights = selector::access_weights(&set, &sample);
+            let codes = CodeAssigner::HuTucker.assign(&weights);
+            let dict = Dict::build(scheme, &set, &codes);
+            let fast = FastEncoder::automaton_from(&set, &codes, budget).expect("automaton");
+            for p in &probes {
+                let mut w = BitWriter::new();
+                fast.encode_into(p, &dict, &mut w);
+                let got = w.finish();
+                let mut w = BitWriter::new();
+                let mut rest = p.as_slice();
+                while !rest.is_empty() {
+                    let (code, n) = dict.lookup(rest);
+                    w.put(code);
+                    rest = &rest[n..];
+                }
+                prop_assert_eq!(got, w.finish(), "{}/budget {}: key {:?}", scheme, budget, p);
+            }
         }
     }
 }

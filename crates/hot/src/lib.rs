@@ -301,19 +301,26 @@ impl Hot {
     /// Range scan: values of up to `count` keys `>= start`, in key order.
     pub fn scan(&self, start: &[u8], count: usize) -> Vec<u64> {
         let mut out = Vec::with_capacity(count.min(64));
-        self.scan_rec(self.root, start, true, count, &mut out);
+        self.scan_into(start, count, &mut out);
         out
     }
 
+    /// Allocation-free [`Hot::scan`]: append up to `count` values to a
+    /// caller-owned buffer (scan loops reuse one across probes).
+    pub fn scan_into(&self, start: &[u8], count: usize, out: &mut Vec<u64>) {
+        self.scan_rec(self.root, start, true, out.len().saturating_add(count), out);
+    }
+
+    /// `stop` is the absolute output length to halt at (append semantics).
     fn scan_rec(
         &self,
         at: u32,
         start: &[u8],
         bounded: bool,
-        count: usize,
+        stop: usize,
         out: &mut Vec<u64>,
     ) -> bool {
-        if out.len() >= count {
+        if out.len() >= stop {
             return false;
         }
         match &self.nodes[at as usize] {
@@ -321,12 +328,12 @@ impl Hot {
                 let from =
                     if bounded { recs.partition_point(|&r| self.rec_key(r) < start) } else { 0 };
                 for &r in &recs[from..] {
-                    if out.len() >= count {
+                    if out.len() >= stop {
                         return false;
                     }
                     out.push(self.records[r as usize].1);
                 }
-                out.len() < count
+                out.len() < stop
             }
             Node::Inner { skip, seps, children } => {
                 let mut from_child = 0usize;
@@ -353,7 +360,7 @@ impl Hot {
                 }
                 for (i, &c) in children.iter().enumerate().skip(from_child) {
                     let b = boundary && i == from_child;
-                    if !self.scan_rec(c, start, b, count, out) {
+                    if !self.scan_rec(c, start, b, stop, out) {
                         return false;
                     }
                 }

@@ -29,6 +29,11 @@ thread_local! {
     /// instead of allocating an `EncodedKey` per call. Thread-local rather
     /// than per-generation so readers on many threads never contend.
     static SCRATCH: RefCell<EncodeScratch> = RefCell::new(EncodeScratch::new());
+
+    /// Per-thread slot-id buffer for the scan path (`range_with`): the
+    /// index fills it in place (`OrderedIndex::range_into`), so a scan of
+    /// N hits performs no heap allocation once the buffer is warm.
+    static SCAN: RefCell<Vec<u64>> = const { RefCell::new(Vec::new()) };
 }
 
 /// One stored record: the original (uncompressed) key and its value.
@@ -221,51 +226,71 @@ impl Generation {
     }
 
     /// Bounded range query by source keys, inclusive on both ends:
-    /// `(key, value)` pairs in source order, at most `limit`. The two
-    /// bounds are pair-encoded (one dictionary traversal for their common
-    /// prefix) into a thread-local scratch — no allocation before the scan.
+    /// `(key, value)` pairs in source order, at most `limit`.
+    ///
+    /// Allocates the returned pairs; scan loops should prefer
+    /// [`Generation::range_with`], which borrows every hit.
     pub fn range(&self, low: &[u8], high: &[u8], limit: usize) -> Vec<(Vec<u8>, u64)> {
-        if low > high || limit == 0 {
-            return Vec::new();
-        }
-        SCRATCH.with_borrow_mut(|scratch| {
-            let (enc_low, enc_high) = self.hope.encode_range_bounds_to(low, high, scratch);
-            self.range_encoded(low, high, limit, enc_low, enc_high)
-        })
+        let mut out = Vec::new();
+        self.range_with(low, high, limit, |k, v| out.push((k.to_vec(), v)));
+        out
     }
 
-    fn range_encoded(
-        &self,
-        low: &[u8],
-        high: &[u8],
-        limit: usize,
-        enc_low: &[u8],
-        enc_high: &[u8],
-    ) -> Vec<(Vec<u8>, u64)> {
-        let d = self.data.read().unwrap();
-        // Boundary slots may mix keys inside and outside the source range
-        // (padded-byte ties), so a slot-limited query can come up short
-        // after filtering; grow the slot budget until satisfied or the
-        // encoded range is exhausted.
-        let mut want = limit.saturating_add(2);
-        loop {
-            let slot_ids = d.index.range(enc_low, enc_high, want);
-            let exhausted = slot_ids.len() < want;
-            let mut out = Vec::with_capacity(limit.min(slot_ids.len()));
-            for sid in &slot_ids {
-                for &ei in &d.slots[*sid as usize] {
-                    let e = &d.entries[ei as usize];
-                    if e.key.as_ref() >= low && e.key.as_ref() <= high {
-                        out.push((e.key.to_vec(), e.value));
-                    }
-                }
-            }
-            if out.len() >= limit || exhausted {
-                out.truncate(limit);
-                return out;
-            }
-            want = want.saturating_mul(2);
+    /// Visitor form of [`Generation::range`]: call `f(key, value)` for up
+    /// to `limit` hits in source order and return the hit count. The two
+    /// bounds are pair-encoded (one dictionary traversal for their common
+    /// prefix) into a thread-local scratch and the index fills a
+    /// thread-local slot buffer in place, so a scan of N hits performs
+    /// **zero heap allocations** after warm-up — the keys handed to `f`
+    /// are borrowed from the generation.
+    ///
+    /// `f` runs under the generation's data read lock: keep it short and
+    /// never call back into this store from inside it.
+    pub fn range_with<F>(&self, low: &[u8], high: &[u8], limit: usize, mut f: F) -> usize
+    where
+        F: FnMut(&[u8], u64),
+    {
+        if low > high || limit == 0 {
+            return 0;
         }
+        SCRATCH.with_borrow_mut(|scratch| {
+            SCAN.with_borrow_mut(|slot_ids| {
+                let (enc_low, enc_high) = self.hope.encode_range_bounds_to(low, high, scratch);
+                let d = self.data.read().unwrap();
+                // Boundary slots may mix keys inside and outside the source
+                // range (padded-byte ties), so a slot-limited query can come
+                // up short after filtering; grow the slot budget until
+                // satisfied or the encoded range is exhausted. The index
+                // state is frozen under the read lock and `range_into`
+                // results are a stable prefix under a growing limit, so the
+                // retry only needs to process the newly returned tail.
+                let mut want = limit.saturating_add(2);
+                let mut done = 0usize;
+                let mut emitted = 0usize;
+                loop {
+                    slot_ids.clear();
+                    d.index.range_into(enc_low, enc_high, want, slot_ids);
+                    let exhausted = slot_ids.len() < want;
+                    for sid in &slot_ids[done..] {
+                        for &ei in &d.slots[*sid as usize] {
+                            let e = &d.entries[ei as usize];
+                            if e.key.as_ref() >= low && e.key.as_ref() <= high {
+                                f(&e.key, e.value);
+                                emitted += 1;
+                                if emitted == limit {
+                                    return emitted;
+                                }
+                            }
+                        }
+                    }
+                    if exhausted {
+                        return emitted;
+                    }
+                    done = slot_ids.len();
+                    want = want.saturating_mul(2);
+                }
+            })
+        })
     }
 
     /// Snapshot the live entries in source order plus the log watermark;
@@ -351,6 +376,23 @@ mod tests {
         assert_eq!(g.range(b"com.gmail@a", b"com.gmail@c", 2).len(), 2);
         assert!(g.range(b"x", b"a", 10).is_empty());
         assert!(g.range(b"zz", b"zzz", 10).is_empty());
+    }
+
+    #[test]
+    fn range_with_visits_the_same_hits_as_range() {
+        let g = build_gen(&[("a", 1), ("ab", 2), ("abc", 3), ("b", 4)]);
+        for (low, high, limit) in [
+            (b"a".as_slice(), b"b".as_slice(), 10usize),
+            (b"a", b"abz", 2),
+            (b"x", b"z", 10),
+            (b"b", b"a", 10),
+            (b"a", b"b", 0),
+        ] {
+            let mut seen = Vec::new();
+            let n = g.range_with(low, high, limit, |k, v| seen.push((k.to_vec(), v)));
+            assert_eq!(n, seen.len());
+            assert_eq!(seen, g.range(low, high, limit), "{low:?}..={high:?} limit {limit}");
+        }
     }
 
     #[test]

@@ -299,20 +299,42 @@ impl HopeStore {
 
     /// Bounded range query, inclusive on both ends: up to `limit`
     /// `(key, value)` pairs in source-key order, possibly spanning shards.
+    ///
+    /// Allocates the returned pairs; scan loops should prefer
+    /// [`HopeStore::range_with`], which borrows every hit and performs no
+    /// per-hit allocation.
     pub fn range(&self, low: &[u8], high: &[u8], limit: usize) -> Vec<(Vec<u8>, u64)> {
+        let mut out = Vec::new();
+        self.range_with(low, high, limit, |k, v| out.push((k.to_vec(), v)));
+        out
+    }
+
+    /// Visitor form of [`HopeStore::range`]: call `f(key, value)` for up
+    /// to `limit` hits in source-key order (possibly spanning shards) and
+    /// return the hit count. Bounds are pair-encoded into thread-local
+    /// scratch and the index scan fills a thread-local slot buffer, so a
+    /// scan of N hits performs **zero heap allocations** after warm-up;
+    /// the key slices are borrowed and valid only for the duration of the
+    /// callback.
+    ///
+    /// `f` runs under a shard generation's read lock: keep it short and
+    /// never call back into the store from inside it.
+    pub fn range_with<F>(&self, low: &[u8], high: &[u8], limit: usize, mut f: F) -> usize
+    where
+        F: FnMut(&[u8], u64),
+    {
         if low > high || limit == 0 {
-            return Vec::new();
+            return 0;
         }
         let (s0, s1) = (self.route(low), self.route(high));
-        let mut out = Vec::new();
+        let mut emitted = 0usize;
         for s in s0..=s1 {
-            let remaining = limit - out.len();
-            if remaining == 0 {
+            if emitted == limit {
                 break;
             }
-            out.extend(self.shards[s].range(low, high, remaining));
+            emitted += self.shards[s].range_with(low, high, limit - emitted, &mut f);
         }
-        out
+        emitted
     }
 
     /// Total live keys across shards.
@@ -487,6 +509,22 @@ mod tests {
             let r = store.range(b"com.gmail@user00010", b"com.gmail@user00013", 10);
             assert_eq!(r.len(), 4, "{backend:?}");
             assert_eq!(store.len(), 600, "{backend:?}");
+        }
+    }
+
+    #[test]
+    fn range_with_matches_range_across_shards() {
+        let store = HopeStore::build(small_cfg(), load(900)).unwrap();
+        for (low, high, limit) in [
+            (b"com.gmail@user00000".as_slice(), b"com.gmail@user00899".as_slice(), usize::MAX),
+            (b"com.gmail@user00100", b"com.gmail@user00500", 7),
+            (b"a", b"z", 25),
+            (b"x", b"a", 10),
+        ] {
+            let mut seen = Vec::new();
+            let n = store.range_with(low, high, limit, |k, v| seen.push((k.to_vec(), v)));
+            assert_eq!(n, seen.len());
+            assert_eq!(seen, store.range(low, high, limit), "{low:?}..={high:?}");
         }
     }
 

@@ -114,8 +114,13 @@ impl Shard {
         self.current().get(key)
     }
 
-    pub(crate) fn range(&self, low: &[u8], high: &[u8], limit: usize) -> Vec<(Vec<u8>, u64)> {
-        self.current().range(low, high, limit)
+    /// Zero-allocation visitor scan over the current generation (see
+    /// [`Generation::range_with`]); returns the number of hits visited.
+    pub(crate) fn range_with<F>(&self, low: &[u8], high: &[u8], limit: usize, f: F) -> usize
+    where
+        F: FnMut(&[u8], u64),
+    {
+        self.current().range_with(low, high, limit, f)
     }
 
     pub(crate) fn insert(&self, key: &[u8], value: u64) -> Option<u64> {

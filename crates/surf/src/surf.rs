@@ -15,6 +15,31 @@
 //! The original splits top levels into LOUDS-Dense for speed; this
 //! reproduction uses LOUDS-Sparse throughout (same trie shape, same height,
 //! slightly different constant factors — see DESIGN.md).
+//!
+//! The filter contract is one-sided: a `false` answer is definite, a
+//! `true` answer may be a false positive whose rate the suffix bits
+//! bound. Combined with HOPE, the keys fed to [`Surf::build`] are the
+//! *encoded* padded bytes — order preservation keeps range queries valid.
+//!
+//! ```
+//! use hope_surf::{SuffixKind, Surf};
+//!
+//! // Keys must be sorted and distinct.
+//! let keys: Vec<&[u8]> = vec![b"bat", b"cat", b"catalog", b"dog"];
+//! let filter = Surf::build(&keys, SuffixKind::Real);
+//!
+//! // Point membership: no false negatives, definite rejections.
+//! assert!(filter.contains(b"catalog"));
+//! assert!(!filter.contains(b"zebra"));
+//!
+//! // Range emptiness: may the filter contain a key in [low, high]?
+//! assert!(filter.range_may_contain(b"car", b"caz"));
+//! assert!(!filter.range_may_contain(b"dz", b"zz"));
+//!
+//! // The truncated-key cursor behind range queries.
+//! let cursor = filter.seek(b"cab").expect("keys above cab exist");
+//! assert_eq!(cursor.key(), b"cat");
+//! ```
 
 use crate::bitvec::{BitVec, BitVecBuilder};
 
@@ -56,6 +81,20 @@ fn hash8(key: &[u8]) -> u8 {
 
 impl Surf {
     /// Build from **sorted, distinct** keys.
+    ///
+    /// Each key is stored truncated at its distinguishing byte (one past
+    /// the longer of its neighbour LCPs), plus the per-leaf suffix
+    /// `suffix_kind` asks for; memory is ~10 bits per trie node.
+    ///
+    /// ```
+    /// use hope_surf::{SuffixKind, Surf};
+    ///
+    /// let keys: Vec<&[u8]> = vec![b"far", b"fast", b"top"];
+    /// let f = Surf::build(&keys, SuffixKind::None);
+    /// assert_eq!(f.num_keys(), 3);
+    /// assert!(f.avg_height() <= 4.0);     // truncation keeps the trie shallow
+    /// assert!(f.memory_bytes() > 0);
+    /// ```
     ///
     /// # Panics
     /// Panics (debug) if keys are unsorted or duplicated.
@@ -241,6 +280,15 @@ impl Surf {
 
     /// Approximate point membership: `false` is definite, `true` may be a
     /// false positive (bounded by the suffix bits).
+    ///
+    /// ```
+    /// use hope_surf::{SuffixKind, Surf};
+    ///
+    /// let keys: Vec<&[u8]> = vec![b"a", b"ab", b"abc"];
+    /// let f = Surf::build(&keys, SuffixKind::Real);
+    /// assert!(f.contains(b"ab"));   // prefix keys carry terminators
+    /// assert!(!f.contains(b"b"));   // rejection is definite
+    /// ```
     pub fn contains(&self, key: &[u8]) -> bool {
         if self.num_keys == 0 {
             return false;
@@ -269,6 +317,21 @@ impl Surf {
 
     /// Iterator positioned at the smallest stored (truncated) key `>=
     /// key`, or `None` if every stored key is smaller.
+    ///
+    /// Keys are stored *truncated* at their distinguishing byte, so the
+    /// cursor yields truncated keys — enough for order comparisons:
+    ///
+    /// ```
+    /// use hope_surf::{SuffixKind, Surf};
+    ///
+    /// let keys: Vec<&[u8]> = vec![b"bat", b"cat", b"catalog"];
+    /// let f = Surf::build(&keys, SuffixKind::None);
+    /// let it = f.seek(b"cab").unwrap();
+    /// assert_eq!(it.key(), b"cat");        // "cat" kept whole (a prefix key)
+    /// let it = it.next().unwrap();         // in-order successor
+    /// assert_eq!(it.key(), b"cata");       // "catalog" truncated at byte 4
+    /// assert!(f.seek(b"cb").is_none());    // nothing at or above "cb"
+    /// ```
     pub fn seek(&self, key: &[u8]) -> Option<SurfIter<'_>> {
         if self.num_keys == 0 {
             return None;
@@ -318,6 +381,15 @@ impl Surf {
 
     /// Approximate closed-range emptiness test: may the filter contain a
     /// key in `[low, high]`? `false` is definite.
+    ///
+    /// ```
+    /// use hope_surf::{SuffixKind, Surf};
+    ///
+    /// let keys: Vec<&[u8]> = vec![b"bat", b"cat", b"dog"];
+    /// let f = Surf::build(&keys, SuffixKind::Real);
+    /// assert!(f.range_may_contain(b"ca", b"cb"));   // "cat" is inside
+    /// assert!(!f.range_may_contain(b"dz", b"zz"));  // provably empty
+    /// ```
     pub fn range_may_contain(&self, low: &[u8], high: &[u8]) -> bool {
         match self.seek(low) {
             None => false,

@@ -1,7 +1,9 @@
 //! Integration suite for the `hope_store` dictionary hot-swap: the store
 //! must be indistinguishable from an uncompressed ordered map before,
 //! during, and after a swap — including under concurrent readers while a
-//! generation is being replaced.
+//! generation is being replaced. Readers also push range hits through an
+//! encode→decode round-trip (`FastDecoder::decode_batch`) against the
+//! live generation, so losslessness is checked mid-swap too.
 //!
 //! Sizes scale up in `--release` (CI runs this suite in both profiles;
 //! the release run is the stress configuration).
@@ -10,7 +12,7 @@ use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
-use hope::Scheme;
+use hope::{DecodeScratch, EncodedKey, Scheme};
 use hope_store::{Backend, HopeStore, StoreConfig};
 use hope_workloads::{MixedWorkload, StoreOp, TrafficSpec};
 use proptest::prelude::*;
@@ -138,13 +140,24 @@ fn hot_swap_under_concurrent_readers() {
             std::thread::spawn(move || {
                 let mut checks = 0u64;
                 let mut i = t * 131;
+                let mut decode_scratch = DecodeScratch::new();
+                let mut range_keys: Vec<Vec<u8>> = Vec::new();
+                // FastDecoder construction is table-sized work; cache it
+                // per generation epoch so the thread spends its stress
+                // window racing the swap, not rebuilding tables.
+                let mut cached_decoder: Option<(u64, hope::FastDecoder)> = None;
                 while !stop.load(Ordering::Relaxed) {
                     let (k, v) = &frozen[i % frozen.len()];
                     assert_eq!(store.get(k), Some(*v), "wrong point result for {k:?}");
                     match i % 3 {
                         0 => {
-                            // Exact single-key range.
-                            assert_eq!(store.range(k, k, 2), vec![(k.clone(), *v)]);
+                            // Exact single-key range, via the zero-alloc
+                            // visitor scan.
+                            let mut ok = false;
+                            let hits = store.range_with(k, k, 2, |rk, rv| {
+                                ok = rk == k.as_slice() && rv == *v;
+                            });
+                            assert!(hits == 1 && ok, "wrong single-key range for {k:?}");
                         }
                         1 => {
                             // Open-ended range: the anchor key must lead it
@@ -155,6 +168,35 @@ fn hot_swap_under_concurrent_readers() {
                             assert_eq!(got.first(), Some(&(k.clone(), *v)));
                             assert!(got.windows(2).all(|w| w[0].0 < w[1].0), "unsorted range");
                             assert!(got.iter().all(|(rk, _)| rk >= k && rk <= &high));
+                            range_keys.clear();
+                            range_keys.extend(got.into_iter().map(|(rk, _)| rk));
+                            if i % 63 == 1 {
+                                // Encode→decode round-trip of the scan's
+                                // hits against whichever generation is
+                                // serving this shard right now — the
+                                // encoding must stay lossless before,
+                                // during, and after every hot-swap.
+                                let generation = store.generation(store.shard_of(k));
+                                let encoded: Vec<EncodedKey> = range_keys
+                                    .iter()
+                                    .map(|rk| generation.hope().encode(rk))
+                                    .collect();
+                                let stale = !matches!(&cached_decoder,
+                                    Some((epoch, _)) if *epoch == generation.epoch());
+                                if stale {
+                                    cached_decoder = Some((
+                                        generation.epoch(),
+                                        generation.hope().fast_decoder(),
+                                    ));
+                                }
+                                let fast = &cached_decoder.as_ref().expect("just filled").1;
+                                let batch = fast
+                                    .decode_batch_keys(&encoded, &mut decode_scratch)
+                                    .expect("range hits must decode");
+                                for (rk, back) in range_keys.iter().zip(batch.iter()) {
+                                    assert_eq!(back, rk.as_slice(), "round-trip broke mid-swap");
+                                }
+                            }
                         }
                         _ => {}
                     }
