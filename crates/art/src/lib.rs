@@ -11,6 +11,9 @@
 //!
 //! Keys are arbitrary byte strings; a key may be a prefix of another key
 //! (required for HOPE-encoded keys), handled by a per-node terminator slot.
+//! The tree is generic over its value payload (`Art<V>`, any
+//! [`hope::Value`]; defaults to `u64` record ids) and implements the
+//! [`hope::OrderedIndex<V>`] contract serving layers program against.
 //!
 //! ```
 //! use hope_art::Art;
@@ -62,9 +65,9 @@ impl Ptr {
 }
 
 #[derive(Debug)]
-struct Leaf {
+struct Leaf<V> {
     key: Box<[u8]>,
-    value: u64,
+    value: V,
 }
 
 /// Adaptive children container (Node4 → Node16 → Node48 → Node256).
@@ -266,15 +269,22 @@ struct Node {
     children: Children,
 }
 
-/// The Adaptive Radix Tree.
-#[derive(Debug, Default)]
-pub struct Art {
+/// The Adaptive Radix Tree over byte-string keys and `V` values
+/// (default: `u64` ids).
+#[derive(Debug)]
+pub struct Art<V = u64> {
     nodes: Vec<Node>,
-    leaves: Vec<Leaf>,
+    leaves: Vec<Leaf<V>>,
     root: Option<Ptr>,
 }
 
-impl Art {
+impl<V> Default for Art<V> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<V> Art<V> {
     /// New empty tree.
     pub fn new() -> Self {
         Art { nodes: Vec::new(), leaves: Vec::new(), root: None }
@@ -294,7 +304,11 @@ impl Art {
     /// bytes; see DESIGN.md on what the leaf represents).
     pub fn memory_bytes(&self) -> usize {
         self.node_memory_bytes()
-            + self.leaves.iter().map(|l| std::mem::size_of::<Leaf>() + l.key.len()).sum::<usize>()
+            + self
+                .leaves
+                .iter()
+                .map(|l| std::mem::size_of::<Leaf<V>>() + l.key.len())
+                .sum::<usize>()
     }
 
     /// Memory of the inner structure only (leaf keys excluded).
@@ -306,14 +320,15 @@ impl Art {
     }
 
     /// Point lookup with final-key verification (OCPS makes intermediate
-    /// comparisons optimistic; the leaf check is authoritative).
-    pub fn get(&self, key: &[u8]) -> Option<u64> {
+    /// comparisons optimistic; the leaf check is authoritative), borrowing
+    /// the stored value.
+    pub fn get_ref(&self, key: &[u8]) -> Option<&V> {
         let mut ptr = self.root?;
         let mut pos = 0usize;
         loop {
             if let Some(leaf) = ptr.as_leaf() {
                 let l = &self.leaves[leaf];
-                return (l.key.as_ref() == key).then_some(l.value);
+                return (l.key.as_ref() == key).then_some(&l.value);
             }
             let node = &self.nodes[ptr.as_node()?];
             let pl = node.prefix_len as usize;
@@ -328,7 +343,7 @@ impl Art {
             pos += pl; // skip the (possibly unstored) remainder
             if pos == key.len() {
                 let l = self.leaves.get(node.term.as_leaf()?)?;
-                return (l.key.as_ref() == key).then_some(l.value);
+                return (l.key.as_ref() == key).then_some(&l.value);
             }
             ptr = node.children.get(key[pos])?;
             pos += 1;
@@ -336,7 +351,7 @@ impl Art {
     }
 
     /// Insert or update; returns the previous value if the key existed.
-    pub fn insert(&mut self, key: &[u8], value: u64) -> Option<u64> {
+    pub fn insert(&mut self, key: &[u8], value: V) -> Option<V> {
         match self.root {
             None => {
                 self.root = Some(self.new_leaf(key, value));
@@ -350,7 +365,7 @@ impl Art {
         }
     }
 
-    fn new_leaf(&mut self, key: &[u8], value: u64) -> Ptr {
+    fn new_leaf(&mut self, key: &[u8], value: V) -> Ptr {
         self.leaves.push(Leaf { key: key.into(), value });
         Ptr::leaf(self.leaves.len() - 1)
     }
@@ -388,11 +403,10 @@ impl Art {
 
     /// Insert under `ptr` (subtree rooted at key depth `pos`); returns the
     /// possibly-new subtree pointer and any replaced value.
-    fn insert_rec(&mut self, ptr: Ptr, key: &[u8], pos: usize, value: u64) -> (Ptr, Option<u64>) {
+    fn insert_rec(&mut self, ptr: Ptr, key: &[u8], pos: usize, value: V) -> (Ptr, Option<V>) {
         if let Some(leaf_idx) = ptr.as_leaf() {
             if self.leaves[leaf_idx].key.as_ref() == key {
-                let old = self.leaves[leaf_idx].value;
-                self.leaves[leaf_idx].value = value;
+                let old = std::mem::replace(&mut self.leaves[leaf_idx].value, value);
                 return (ptr, Some(old));
             }
             // Split into a node holding both leaves.
@@ -457,8 +471,7 @@ impl Art {
         if pos == key.len() {
             let old_term = self.nodes[node_idx].term;
             if let Some(t) = old_term.as_leaf() {
-                let old = self.leaves[t].value;
-                self.leaves[t].value = value;
+                let old = std::mem::replace(&mut self.leaves[t].value, value);
                 return (ptr, Some(old));
             }
             let new_leaf = self.new_leaf(key, value);
@@ -482,8 +495,20 @@ impl Art {
         }
     }
 
+    /// Point lookup, cloning the stored value (a copy for `u64` ids). Use
+    /// [`Art::get_ref`] to borrow instead.
+    pub fn get(&self, key: &[u8]) -> Option<V>
+    where
+        V: Clone,
+    {
+        self.get_ref(key).cloned()
+    }
+
     /// Range scan: values of up to `count` keys `>= start`, in key order.
-    pub fn scan(&self, start: &[u8], count: usize) -> Vec<u64> {
+    pub fn scan(&self, start: &[u8], count: usize) -> Vec<V>
+    where
+        V: Clone,
+    {
         let mut out = Vec::with_capacity(count.min(64));
         self.scan_bounded(start, None, count, &mut out);
         out
@@ -491,13 +516,19 @@ impl Art {
 
     /// Allocation-free [`Art::scan`]: append up to `count` values to a
     /// caller-owned buffer (scan loops reuse one across probes).
-    pub fn scan_into(&self, start: &[u8], count: usize, out: &mut Vec<u64>) {
+    pub fn scan_into(&self, start: &[u8], count: usize, out: &mut Vec<V>)
+    where
+        V: Clone,
+    {
         self.scan_bounded(start, None, count, out);
     }
 
     /// Bounded range scan: values of up to `limit` keys in `low..=high`
     /// (inclusive on both ends), in key order.
-    pub fn range(&self, low: &[u8], high: &[u8], limit: usize) -> Vec<u64> {
+    pub fn range(&self, low: &[u8], high: &[u8], limit: usize) -> Vec<V>
+    where
+        V: Clone,
+    {
         let mut out = Vec::with_capacity(limit.min(64));
         self.range_into(low, high, limit, &mut out);
         out
@@ -505,14 +536,20 @@ impl Art {
 
     /// Allocation-free [`Art::range`]: append up to `limit` values to a
     /// caller-owned buffer (scan loops reuse one across probes).
-    pub fn range_into(&self, low: &[u8], high: &[u8], limit: usize, out: &mut Vec<u64>) {
+    pub fn range_into(&self, low: &[u8], high: &[u8], limit: usize, out: &mut Vec<V>)
+    where
+        V: Clone,
+    {
         if low > high {
             return;
         }
         self.scan_bounded(low, Some(high), limit, out);
     }
 
-    fn scan_bounded(&self, start: &[u8], high: Option<&[u8]>, count: usize, out: &mut Vec<u64>) {
+    fn scan_bounded(&self, start: &[u8], high: Option<&[u8]>, count: usize, out: &mut Vec<V>)
+    where
+        V: Clone,
+    {
         let stop = out.len().saturating_add(count);
         if let Some(root) = self.root {
             self.scan_rec(root, 0, start, high, true, stop, out);
@@ -521,14 +558,17 @@ impl Art {
 
     /// Push one leaf's value unless it lies above the inclusive upper
     /// bound; returns false to halt the (in-order) traversal.
-    fn emit(&self, leaf: usize, high: Option<&[u8]>, out: &mut Vec<u64>) -> bool {
+    fn emit(&self, leaf: usize, high: Option<&[u8]>, out: &mut Vec<V>) -> bool
+    where
+        V: Clone,
+    {
         let l = &self.leaves[leaf];
         if let Some(h) = high {
             if l.key.as_ref() > h {
                 return false; // every later key is larger still
             }
         }
-        out.push(l.value);
+        out.push(l.value.clone());
         true
     }
 
@@ -545,8 +585,11 @@ impl Art {
         high: Option<&[u8]>,
         bounded: bool,
         stop: usize,
-        out: &mut Vec<u64>,
-    ) -> bool {
+        out: &mut Vec<V>,
+    ) -> bool
+    where
+        V: Clone,
+    {
         if out.len() >= stop {
             return false;
         }
@@ -627,25 +670,21 @@ impl Art {
 }
 
 /// ART satisfies the generic ordered-index contract HOPE serving layers
-/// program against.
-impl hope::OrderedIndex for Art {
-    fn get(&self, key: &[u8]) -> Option<u64> {
-        Art::get(self, key)
+/// program against, for any value payload.
+impl<V: hope::Value> hope::OrderedIndex<V> for Art<V> {
+    fn get(&self, key: &[u8]) -> Option<&V> {
+        Art::get_ref(self, key)
     }
 
-    fn insert(&mut self, key: &[u8], value: u64) -> Option<u64> {
+    fn insert(&mut self, key: &[u8], value: V) -> Option<V> {
         Art::insert(self, key, value)
     }
 
-    fn scan(&self, start: &[u8], count: usize) -> Vec<u64> {
-        Art::scan(self, start, count)
+    fn scan_into(&self, start: &[u8], count: usize, out: &mut Vec<V>) {
+        Art::scan_into(self, start, count, out)
     }
 
-    fn range(&self, low: &[u8], high: &[u8], limit: usize) -> Vec<u64> {
-        Art::range(self, low, high, limit)
-    }
-
-    fn range_into(&self, low: &[u8], high: &[u8], limit: usize, out: &mut Vec<u64>) {
+    fn range_into(&self, low: &[u8], high: &[u8], limit: usize, out: &mut Vec<V>) {
         Art::range_into(self, low, high, limit, out)
     }
 

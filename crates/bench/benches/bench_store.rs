@@ -33,7 +33,7 @@ fn bench_store(c: &mut Criterion) {
             b.iter(|| {
                 let mut hits = 0u64;
                 for k in &probe {
-                    hits += store.get(k).is_some() as u64;
+                    hits += store.get(k).expect("valid key").is_some() as u64;
                 }
                 black_box(hits)
             })
@@ -49,12 +49,33 @@ fn bench_store(c: &mut Criterion) {
             b.iter(|| {
                 let mut total = 0usize;
                 for k in &probe {
-                    total += store.range(k, &[k.as_slice(), b"\xff"].concat(), 20).len();
+                    total += store
+                        .range_with(k, &[k.as_slice(), b"\xff"].concat(), 20, |_, _| {})
+                        .expect("valid bounds");
                 }
                 black_box(total)
             })
         });
     }
+    group.finish();
+
+    // The same scans through the pull cursor (lending next_hit loop).
+    let mut group = c.benchmark_group("store_cursor_limit20");
+    group.throughput(Throughput::Elements(probe.len() as u64));
+    let store = build_store(4, Backend::BTree, &keys);
+    group.bench_function("btree_4shard_pull", |b| {
+        b.iter(|| {
+            let mut total = 0usize;
+            for k in &probe {
+                let mut cur =
+                    store.cursor(k, &[k.as_slice(), b"\xff"].concat(), 20).expect("valid bounds");
+                while cur.next_hit().is_some() {
+                    total += 1;
+                }
+            }
+            black_box(total)
+        })
+    });
     group.finish();
 
     let mut group = c.benchmark_group("store_insert");
@@ -64,7 +85,7 @@ fn bench_store(c: &mut Criterion) {
         b.iter(|| {
             let store = build_store(4, Backend::BTree, &keys);
             for (i, k) in fresh[KEYS..].iter().enumerate() {
-                store.insert(k.clone(), i as u64);
+                store.insert(k.clone(), i as u64).expect("valid key");
             }
             black_box(store.len())
         })

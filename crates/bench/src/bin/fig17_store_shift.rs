@@ -76,13 +76,19 @@ fn main() {
                 let mut i = t * 37;
                 while !stop.load(Ordering::Relaxed) {
                     let (k, v) = &frozen[i % frozen.len()];
-                    assert_eq!(store.get(k), Some(*v), "reader saw a wrong point result");
+                    assert_eq!(
+                        store.get(k).expect("valid key"),
+                        Some(*v),
+                        "reader saw a wrong point result"
+                    );
                     if i % 16 == 0 {
                         // Zero-allocation visitor scan: hits are borrowed.
                         let mut ok = false;
-                        let hits = store.range_with(k, k, 2, |rk, rv| {
-                            ok = rk == k.as_slice() && rv == *v;
-                        });
+                        let hits = store
+                            .range_with(k, k, 2, |rk, rv| {
+                                ok = rk == k.as_slice() && *rv == *v;
+                            })
+                            .expect("valid bounds");
                         assert!(hits == 1 && ok, "reader saw a wrong range for {k:?}");
                     }
                     checks.fetch_add(1, Ordering::Relaxed);
@@ -101,17 +107,22 @@ fn main() {
     for (i, op) in workload.ops.iter().enumerate() {
         match op {
             StoreOp::Get(k) => {
-                assert_eq!(store.get(k), shadow.get(k).copied(), "point query diverged");
+                assert_eq!(
+                    store.get(k).expect("valid key"),
+                    shadow.get(k).copied(),
+                    "point query diverged"
+                );
             }
             StoreOp::Insert(k, v) => {
                 if i >= workload.shift_at {
                     shifted_keys.push(k.clone());
                 }
-                let old = store.insert(k.clone(), *v);
+                let old = store.insert(k.clone(), *v).expect("valid key");
                 assert_eq!(old, shadow.insert(k.clone(), *v), "insert result diverged");
             }
             StoreOp::Scan(low, high, limit) => {
-                let got = store.range(low, high, *limit);
+                let mut got = Vec::new();
+                store.range_into(low, high, *limit, &mut got).expect("valid bounds");
                 let want: Vec<(Vec<u8>, u64)> = shadow
                     .range(low.clone()..=high.clone())
                     .take(*limit)
@@ -132,7 +143,7 @@ fn main() {
             for r in &reports {
                 // Losslessness across the swap: keys served by the fresh
                 // generation round-trip through its batch decoder.
-                let generation = store.generation(r.shard);
+                let generation = store.generation(r.shard).expect("shard in range");
                 let mut decode_scratch = hope::DecodeScratch::new();
                 let fast_dec = generation.hope().fast_decoder();
                 let sample: Vec<&Vec<u8>> = shadow
@@ -171,7 +182,7 @@ fn main() {
 
     // Final verification sweep against the shadow.
     for (k, v) in shadow.iter().step_by(7) {
-        assert_eq!(store.get(k), Some(*v), "post-run divergence");
+        assert_eq!(store.get(k).expect("valid key"), Some(*v), "post-run divergence");
     }
     println!(
         "# {} concurrent reader checks, {} swaps, final epochs {:?}",
@@ -193,7 +204,7 @@ fn main() {
         if keys.is_empty() {
             continue;
         }
-        let m = stats::measure(store.generation(s).hope(), keys);
+        let m = stats::measure(store.generation(s).expect("shard in range").hope(), keys);
         src += m.src_bytes;
         enc += m.enc_bytes;
     }

@@ -19,8 +19,12 @@
 //!   ([`hope::Decoder::decode`] / `decode_to`), against the byte-table
 //!   [`hope::FastDecoder`] (`decode_to` and `decode_batch`).
 //! * **scan** (`BENCH_decode.json`, `"scan"`) — `hope_store` bounded
-//!   range queries: the allocating `range()` against the zero-allocation
-//!   `range_with()` visitor, in ns per hit.
+//!   range queries, in ns per hit: the allocating collect
+//!   (`range_into`), the PR 4 per-shard visitor path
+//!   (`Generation::range_with`, reconstructed exactly), and the v1
+//!   [`hope_store::RangeCursor`] in both its push (`for_each`) and pull
+//!   (`next_hit`) forms. The cursor is gated at ≥ 1.0× the visitor
+//!   path — the v1 range redesign must not cost scan throughput.
 //!
 //! Output paths default to `BENCH_encode.json` / `BENCH_decode.json`
 //! (override with `--out PATH` / `--out-decode PATH`); see DESIGN.md
@@ -55,6 +59,10 @@ const TARGET_TRIE_SPEEDUP: f64 = 1.5;
 /// Headline target: Single-Char byte-table **batch** decode (the scan
 /// shape) vs the allocating bit walk.
 const TARGET_DECODE_SPEEDUP: f64 = 1.5;
+
+/// Headline target: the v1 `RangeCursor` scan (better of push/pull) vs
+/// the PR 4 per-shard visitor path it replaced, measured in the same run.
+const TARGET_CURSOR_RATIO: f64 = 1.0;
 
 /// Median-of-5 nanoseconds per source char for one loop (medians damp
 /// the allocator and frequency noise of shared machines).
@@ -95,7 +103,17 @@ struct DecodeRow {
 struct ScanStats {
     hits: usize,
     range_alloc: f64,
-    range_with: f64,
+    visitor_pr4: f64,
+    cursor_push: f64,
+    cursor_pull: f64,
+}
+
+impl ScanStats {
+    /// Cursor speedup vs the PR 4 visitor path (≥ 1.0 = no regression),
+    /// taking the cursor's better scan mode for this workload shape.
+    fn cursor_ratio(&self) -> f64 {
+        self.visitor_pr4 / self.cursor_push.min(self.cursor_pull)
+    }
 }
 
 fn bench_scheme(hope: &Hope, keys: &[Vec<u8>]) -> (f64, f64, f64) {
@@ -120,7 +138,7 @@ fn bench_scheme(hope: &Hope, keys: &[Vec<u8>]) -> (f64, f64, f64) {
     let fast = measure(chars, || {
         let mut bits = 0usize;
         for k in keys {
-            hope.encode_to(k, &mut scratch);
+            hope.encode_to(k, &mut scratch).expect("bench keys within MAX_KEY_BYTES");
             bits += scratch.bit_len();
         }
         bits
@@ -169,8 +187,11 @@ fn bench_decode(hope: &Hope, keys: &[Vec<u8>]) -> DecodeRow {
     }
 }
 
-/// Store scan trajectory: allocating `range()` vs zero-alloc
-/// `range_with()` over bounded scans of ~64 hits each.
+/// Store scan trajectory over bounded scans of ~64 hits each: the
+/// allocating collect, the PR 4 per-shard visitor path (reconstructed
+/// from the public `Generation::range_with` exactly as the pre-v1
+/// `HopeStore::range_with` dispatched it), and the v1 cursor in both
+/// scan modes.
 fn bench_scan(keys: &[Vec<u8>]) -> ScanStats {
     let mut sorted = keys.to_vec();
     sorted.sort();
@@ -183,31 +204,87 @@ fn bench_scan(keys: &[Vec<u8>]) -> ScanStats {
     let hits: usize = starts.len() * span;
 
     // `measure` divides by its op count and asserts the loop's return is
-    // the hit total, so both scan shapes share the encode-side protocol
+    // the hit total, so every scan shape shares the encode-side protocol
     // (median-of-5, total_cmp sort) with a per-hit divisor.
     let range_alloc = measure(hits, || {
         let mut n = 0usize;
+        let mut out = Vec::new();
         for &s in &starts {
-            n += store.range(&sorted[s], &sorted[s + span - 1], span).len();
+            out.clear();
+            n += store
+                .range_into(&sorted[s], &sorted[s + span - 1], span, &mut out)
+                .expect("valid bounds");
         }
         assert_eq!(n, hits);
         n
     });
 
-    let range_with = measure(hits, || {
+    // The PR 4 visitor path, reconstructed: route the bound shards and
+    // run each shard generation's zero-alloc visitor directly — plus the
+    // two per-hit source-bound memcmps the PR 4 engine performed on
+    // every hit (v1 proved those are only needed on boundary slots and
+    // dropped them from interior hits, so the old cost structure is
+    // re-added in the callback to keep the baseline honest).
+    let visitor_pr4 = measure(hits, || {
         let mut n = 0usize;
         let mut bytes = 0usize;
         for &s in &starts {
-            n += store.range_with(&sorted[s], &sorted[s + span - 1], span, |k, _v| {
-                bytes += k.len();
-            });
+            let (low, high) = (&sorted[s], &sorted[s + span - 1]);
+            let (s0, s1) = (store.shard_of(low), store.shard_of(high));
+            let mut m = 0usize;
+            for shard in s0..=s1 {
+                if m == span {
+                    break;
+                }
+                let generation = store.generation(shard).expect("shard in range");
+                m += generation
+                    .range_with(low, high, span - m, |k, _v| {
+                        black_box(k >= low.as_slice() && k <= high.as_slice());
+                        bytes += k.len();
+                    })
+                    .expect("valid bounds");
+            }
+            n += m;
         }
         black_box(bytes);
         assert_eq!(n, hits);
         n
     });
 
-    ScanStats { hits, range_alloc, range_with }
+    // v1 push: the cursor's for_each adapter (what range_with now wraps).
+    let cursor_push = measure(hits, || {
+        let mut n = 0usize;
+        let mut bytes = 0usize;
+        for &s in &starts {
+            n += store
+                .range_with(&sorted[s], &sorted[s + span - 1], span, |k, _v| {
+                    bytes += k.len();
+                })
+                .expect("valid bounds");
+        }
+        black_box(bytes);
+        assert_eq!(n, hits);
+        n
+    });
+
+    // v1 pull: the lending next_hit loop.
+    let cursor_pull = measure(hits, || {
+        let mut n = 0usize;
+        let mut bytes = 0usize;
+        for &s in &starts {
+            let mut cur =
+                store.cursor(&sorted[s], &sorted[s + span - 1], span).expect("valid bounds");
+            while let Some((k, _v)) = cur.next_hit() {
+                bytes += k.len();
+                n += 1;
+            }
+        }
+        black_box(bytes);
+        assert_eq!(n, hits);
+        n
+    });
+
+    ScanStats { hits, range_alloc, visitor_pr4, cursor_push, cursor_pull }
 }
 
 fn out_flag(cfg: &BenchConfig, flag: &str, default: &str) -> String {
@@ -294,11 +371,14 @@ fn main() {
     println!("\n# store scan trajectory (ns per hit)");
     let scan = bench_scan(&keys);
     println!(
-        "{:>8} hits: range() {:.1} ns/hit, range_with() {:.1} ns/hit ({:.2}x)",
+        "{:>8} hits: collect {:.1} ns/hit, pr4-visitor {:.1} ns/hit, cursor push {:.1} ns/hit, \
+         cursor pull {:.1} ns/hit (cursor vs visitor {:.2}x)",
         scan.hits,
         scan.range_alloc,
-        scan.range_with,
-        scan.range_alloc / scan.range_with
+        scan.visitor_pr4,
+        scan.cursor_push,
+        scan.cursor_pull,
+        scan.cursor_ratio()
     );
 
     // Headline gates.
@@ -314,10 +394,12 @@ fn main() {
         .find(|r| r.scheme == "Single-Char")
         .map(|r| r.walk_alloc / r.batch)
         .expect("decode row");
+    let cursor_ratio = scan.cursor_ratio();
     let pass = single >= TARGET_SPEEDUP
         && three >= TARGET_TRIE_SPEEDUP
         && four >= TARGET_TRIE_SPEEDUP
-        && dec_single >= TARGET_DECODE_SPEEDUP;
+        && dec_single >= TARGET_DECODE_SPEEDUP
+        && cursor_ratio >= TARGET_CURSOR_RATIO;
 
     write_encode_json(&out_path, &cfg, &rows, single, three, four, pass);
     write_decode_json(&out_decode, &cfg, &decode_rows, &scan, dec_single, pass);
@@ -325,7 +407,8 @@ fn main() {
     println!(
         "# single-char encode {single:.2}x (>= {TARGET_SPEEDUP:.1}), 3-grams {three:.2}x / \
          4-grams {four:.2}x (>= {TARGET_TRIE_SPEEDUP:.1}), single-char batch decode \
-         {dec_single:.2}x (>= {TARGET_DECODE_SPEEDUP:.1}) — {}",
+         {dec_single:.2}x (>= {TARGET_DECODE_SPEEDUP:.1}), cursor scan {cursor_ratio:.2}x \
+         (>= {TARGET_CURSOR_RATIO:.1}) — {}",
         if pass { "PASS" } else { "FAIL" }
     );
     if !pass {
@@ -416,11 +499,22 @@ fn write_decode_json(
     s.push_str("  ],\n");
     s.push_str(&format!(
         "  \"scan\": {{\"units\": \"ns_per_hit\", \"hits\": {}, \"range_alloc\": {:.4}, \
-         \"range_with\": {:.4}, \"speedup\": {:.4}}}\n",
+         \"range_with\": {:.4}, \"speedup\": {:.4}}},\n",
         scan.hits,
         scan.range_alloc,
-        scan.range_with,
-        scan.range_alloc / scan.range_with
+        scan.visitor_pr4,
+        scan.range_alloc / scan.visitor_pr4
+    ));
+    s.push_str(&format!(
+        "  \"cursor\": {{\"units\": \"ns_per_hit\", \"hits\": {}, \
+         \"visitor_pr4\": {:.4}, \"cursor_push\": {:.4}, \"cursor_pull\": {:.4}, \
+         \"target_ratio_vs_visitor\": {TARGET_CURSOR_RATIO}, \
+         \"ratio_vs_visitor\": {:.4}}}\n",
+        scan.hits,
+        scan.visitor_pr4,
+        scan.cursor_push,
+        scan.cursor_pull,
+        scan.cursor_ratio()
     ));
     s.push_str("}\n");
     std::fs::write(path, s).expect("write BENCH_decode.json");

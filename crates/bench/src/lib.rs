@@ -295,7 +295,7 @@ impl PreparedKeys {
         scratch: &'a mut QueryScratch,
     ) -> &'a [u8] {
         match &self.hope {
-            Some(h) => h.encode_to(key, &mut scratch.0),
+            Some(h) => h.encode_to(key, &mut scratch.0).expect("bench keys within MAX_KEY_BYTES"),
             None => key,
         }
     }

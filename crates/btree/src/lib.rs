@@ -11,6 +11,10 @@
 //!   truncation* (a leaf split promotes the shortest separator that still
 //!   partitions the halves).
 //!
+//! Both trees are generic over their value payload (`BPlusTree<V>`, any
+//! [`hope::Value`]; defaults to `u64` record ids) and implement the
+//! [`hope::OrderedIndex<V>`] contract serving layers program against.
+//!
 //! ```
 //! use hope_btree::BPlusTree;
 //!
@@ -19,6 +23,11 @@
 //! t.insert(b"com.gmail@bob", 2);
 //! assert_eq!(t.get(b"com.gmail@alice"), Some(1));
 //! assert_eq!(t.scan(b"com.gmail@", 10), vec![1, 2]);
+//!
+//! // Any Clone + Send + Sync payload works, not just u64.
+//! let mut docs: BPlusTree<String> = BPlusTree::plain();
+//! docs.insert(b"k", "payload".to_string());
+//! assert_eq!(docs.get_ref(b"k").map(String::as_str), Some("payload"));
 //! ```
 
 #![warn(missing_docs)]
@@ -164,9 +173,9 @@ impl KeyList {
 }
 
 #[derive(Debug)]
-struct LeafNode {
+struct LeafNode<V> {
     keys: KeyList,
-    values: Vec<u64>,
+    values: Vec<V>,
     next: u32,
 }
 
@@ -179,22 +188,22 @@ struct InnerNode {
 }
 
 #[derive(Debug)]
-enum Node {
-    Leaf(LeafNode),
+enum Node<V> {
+    Leaf(LeafNode<V>),
     Inner(InnerNode),
 }
 
-/// A B+tree over byte-string keys and `u64` values.
+/// A B+tree over byte-string keys and `V` values (default: `u64` ids).
 #[derive(Debug)]
-pub struct BPlusTree {
-    nodes: Vec<Node>,
+pub struct BPlusTree<V = u64> {
+    nodes: Vec<Node<V>>,
     root: u32,
     len: usize,
     prefix_truncation: bool,
     suffix_truncation: bool,
 }
 
-impl BPlusTree {
+impl<V> BPlusTree<V> {
     /// Plain TLX-style B+tree (full keys behind reference pointers).
     pub fn plain() -> Self {
         Self::with_modes(false, false)
@@ -210,6 +219,25 @@ impl BPlusTree {
         let leaf =
             Node::Leaf(LeafNode { keys: KeyList::default(), values: Vec::new(), next: NO_NODE });
         BPlusTree { nodes: vec![leaf], root: 0, len: 0, prefix_truncation, suffix_truncation }
+    }
+
+    /// Point lookup, borrowing the stored value.
+    pub fn get_ref(&self, key: &[u8]) -> Option<&V> {
+        let mut at = self.root;
+        loop {
+            match &self.nodes[at as usize] {
+                Node::Inner(inner) => {
+                    let i = inner.seps.upper_bound(key);
+                    at = inner.children[i];
+                }
+                Node::Leaf(leaf) => {
+                    let i = leaf.keys.lower_bound(key);
+                    return (i < leaf.keys.len()
+                        && leaf.keys.cmp(i, key) == std::cmp::Ordering::Equal)
+                        .then(|| &leaf.values[i]);
+                }
+            }
+        }
     }
 
     /// Number of stored keys.
@@ -233,42 +261,26 @@ impl BPlusTree {
         h
     }
 
-    /// Total memory: node structures + key slots + out-of-node key bytes.
+    /// Total memory: node structures + key slots + out-of-node key bytes
+    /// + in-node value slots.
     pub fn memory_bytes(&self) -> usize {
         self.nodes
             .iter()
             .map(|n| match n {
                 Node::Leaf(l) => {
-                    std::mem::size_of::<Node>() + l.keys.memory_bytes() + l.values.len() * 8
+                    std::mem::size_of::<Node<V>>()
+                        + l.keys.memory_bytes()
+                        + l.values.len() * std::mem::size_of::<V>()
                 }
                 Node::Inner(i) => {
-                    std::mem::size_of::<Node>() + i.seps.memory_bytes() + i.children.len() * 4
+                    std::mem::size_of::<Node<V>>() + i.seps.memory_bytes() + i.children.len() * 4
                 }
             })
             .sum()
     }
 
-    /// Point lookup.
-    pub fn get(&self, key: &[u8]) -> Option<u64> {
-        let mut at = self.root;
-        loop {
-            match &self.nodes[at as usize] {
-                Node::Inner(inner) => {
-                    let i = inner.seps.upper_bound(key);
-                    at = inner.children[i];
-                }
-                Node::Leaf(leaf) => {
-                    let i = leaf.keys.lower_bound(key);
-                    return (i < leaf.keys.len()
-                        && leaf.keys.cmp(i, key) == std::cmp::Ordering::Equal)
-                        .then(|| leaf.values[i]);
-                }
-            }
-        }
-    }
-
     /// Insert or update; returns the previous value if present.
-    pub fn insert(&mut self, key: &[u8], value: u64) -> Option<u64> {
+    pub fn insert(&mut self, key: &[u8], value: V) -> Option<V> {
         let root = self.root;
         let (split, old) = self.insert_rec(root, key, value);
         if let Some((sep, right)) = split {
@@ -285,18 +297,12 @@ impl BPlusTree {
     }
 
     /// Returns (optional split (separator, new right node), old value).
-    fn insert_rec(
-        &mut self,
-        at: u32,
-        key: &[u8],
-        value: u64,
-    ) -> (Option<(Vec<u8>, u32)>, Option<u64>) {
+    fn insert_rec(&mut self, at: u32, key: &[u8], value: V) -> (Option<(Vec<u8>, u32)>, Option<V>) {
         let (sep_right, old) = match &mut self.nodes[at as usize] {
             Node::Leaf(leaf) => {
                 let i = leaf.keys.lower_bound(key);
                 if i < leaf.keys.len() && leaf.keys.cmp(i, key) == std::cmp::Ordering::Equal {
-                    let old = leaf.values[i];
-                    leaf.values[i] = value;
+                    let old = std::mem::replace(&mut leaf.values[i], value);
                     return (None, Some(old));
                 }
                 let truncate = self.prefix_truncation;
@@ -370,9 +376,17 @@ impl BPlusTree {
         };
         (sep_right, old)
     }
+}
+
+impl<V: Clone> BPlusTree<V> {
+    /// Point lookup, cloning the stored value (a copy for `u64` ids). Use
+    /// [`BPlusTree::get_ref`] to borrow instead.
+    pub fn get(&self, key: &[u8]) -> Option<V> {
+        self.get_ref(key).cloned()
+    }
 
     /// Range scan: values of up to `count` keys `>= start`, in key order.
-    pub fn scan(&self, start: &[u8], count: usize) -> Vec<u64> {
+    pub fn scan(&self, start: &[u8], count: usize) -> Vec<V> {
         let mut out = Vec::with_capacity(count.min(64));
         self.scan_bounded(start, None, count, &mut out);
         out
@@ -380,13 +394,13 @@ impl BPlusTree {
 
     /// Allocation-free [`BPlusTree::scan`]: append up to `count` values to
     /// a caller-owned buffer (scan loops reuse one across probes).
-    pub fn scan_into(&self, start: &[u8], count: usize, out: &mut Vec<u64>) {
+    pub fn scan_into(&self, start: &[u8], count: usize, out: &mut Vec<V>) {
         self.scan_bounded(start, None, count, out);
     }
 
     /// Bounded range scan: values of up to `limit` keys in `low..=high`
     /// (inclusive on both ends), in key order.
-    pub fn range(&self, low: &[u8], high: &[u8], limit: usize) -> Vec<u64> {
+    pub fn range(&self, low: &[u8], high: &[u8], limit: usize) -> Vec<V> {
         let mut out = Vec::with_capacity(limit.min(64));
         self.range_into(low, high, limit, &mut out);
         out
@@ -394,7 +408,7 @@ impl BPlusTree {
 
     /// Allocation-free [`BPlusTree::range`]: append up to `limit` values
     /// to a caller-owned buffer (scan loops reuse one across probes).
-    pub fn range_into(&self, low: &[u8], high: &[u8], limit: usize, out: &mut Vec<u64>) {
+    pub fn range_into(&self, low: &[u8], high: &[u8], limit: usize, out: &mut Vec<V>) {
         if low > high {
             return;
         }
@@ -404,7 +418,7 @@ impl BPlusTree {
     /// Leaf-chain walk from the first key `>= start`, appending to `out`
     /// until `count` values were emitted or (when set) the first key
     /// `> high` is reached.
-    fn scan_bounded(&self, start: &[u8], high: Option<&[u8]>, count: usize, out: &mut Vec<u64>) {
+    fn scan_bounded(&self, start: &[u8], high: Option<&[u8]>, count: usize, out: &mut Vec<V>) {
         let stop = out.len().saturating_add(count);
         let mut at = self.root;
         while let Node::Inner(inner) = &self.nodes[at as usize] {
@@ -422,7 +436,7 @@ impl BPlusTree {
                         return;
                     }
                 }
-                out.push(leaf.values[pos]);
+                out.push(leaf.values[pos].clone());
                 pos += 1;
             }
             if out.len() >= stop || leaf.next == NO_NODE {
@@ -435,25 +449,21 @@ impl BPlusTree {
 }
 
 /// B+trees satisfy the generic ordered-index contract HOPE serving layers
-/// program against.
-impl hope::OrderedIndex for BPlusTree {
-    fn get(&self, key: &[u8]) -> Option<u64> {
-        BPlusTree::get(self, key)
+/// program against, for any value payload.
+impl<V: hope::Value> hope::OrderedIndex<V> for BPlusTree<V> {
+    fn get(&self, key: &[u8]) -> Option<&V> {
+        BPlusTree::get_ref(self, key)
     }
 
-    fn insert(&mut self, key: &[u8], value: u64) -> Option<u64> {
+    fn insert(&mut self, key: &[u8], value: V) -> Option<V> {
         BPlusTree::insert(self, key, value)
     }
 
-    fn scan(&self, start: &[u8], count: usize) -> Vec<u64> {
-        BPlusTree::scan(self, start, count)
+    fn scan_into(&self, start: &[u8], count: usize, out: &mut Vec<V>) {
+        BPlusTree::scan_into(self, start, count, out)
     }
 
-    fn range(&self, low: &[u8], high: &[u8], limit: usize) -> Vec<u64> {
-        BPlusTree::range(self, low, high, limit)
-    }
-
-    fn range_into(&self, low: &[u8], high: &[u8], limit: usize, out: &mut Vec<u64>) {
+    fn range_into(&self, low: &[u8], high: &[u8], limit: usize, out: &mut Vec<V>) {
         BPlusTree::range_into(self, low, high, limit, out)
     }
 

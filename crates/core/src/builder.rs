@@ -11,13 +11,18 @@ use crate::dict::Dict;
 use crate::encoder::Encoder;
 use crate::selector::{self, Scheme};
 
-/// Errors from the build phase.
+/// Errors from the HOPE codec: the build pipeline *and* the v1 fallible
+/// codec surface ([`KeyCodec`](crate::codec::KeyCodec)).
 ///
-/// Every fallible stage of the pipeline reports through this type instead
-/// of panicking, so embedding systems (e.g. a `hope_store` shard rebuild)
-/// can surface a failed dictionary build and keep serving the previous
-/// generation rather than aborting.
+/// Every fallible stage reports through this type instead of panicking or
+/// returning a bare `Option`, so embedding systems (e.g. a `hope_store`
+/// shard) can surface a failed dictionary build — or a corrupt encoded
+/// stream — and keep serving rather than aborting.
+///
+/// The enum is `#[non_exhaustive]`: future PRs may add variants without a
+/// breaking change, so downstream matches need a wildcard arm.
 #[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
 pub enum HopeError {
     /// The sampled key list was empty and the scheme needs statistics.
     EmptySample,
@@ -32,6 +37,23 @@ pub enum HopeError {
         /// Human-readable description of the violated invariant.
         detail: String,
     },
+    /// A source key exceeded [`MAX_KEY_BYTES`](crate::codec::MAX_KEY_BYTES)
+    /// on the validated codec surface (`encode_to` and the store write
+    /// path). Encoding is mathematically total, but unbounded keys would
+    /// pin unbounded per-thread scratch, so the serving stack rejects them.
+    KeyTooLong {
+        /// Length of the offending key in bytes.
+        len: usize,
+        /// The configured maximum.
+        max: usize,
+    },
+    /// An encoded bitstream did not end exactly on a code boundary or left
+    /// the code trie — impossible for encoder output, so it indicates
+    /// corruption of the stored bytes.
+    CorruptEncoding {
+        /// Bit length of the stream that failed to decode.
+        bit_len: usize,
+    },
 }
 
 impl std::fmt::Display for HopeError {
@@ -41,6 +63,12 @@ impl std::fmt::Display for HopeError {
             HopeError::ZeroDictionarySize => write!(f, "dictionary size must be positive"),
             HopeError::InvalidIntervals { scheme, detail } => {
                 write!(f, "{scheme}: invalid interval division: {detail}")
+            }
+            HopeError::KeyTooLong { len, max } => {
+                write!(f, "key of {len} bytes exceeds the {max}-byte limit")
+            }
+            HopeError::CorruptEncoding { bit_len } => {
+                write!(f, "corrupt encoding: {bit_len}-bit stream does not decode")
             }
         }
     }
@@ -138,12 +166,14 @@ impl HopeBuilder {
             intervals: set,
             codes,
             timings: BuildTimings { symbol_select, code_assign, dictionary_build },
+            shared_decoder: std::sync::OnceLock::new(),
         })
     }
 }
 
 /// A built HOPE compressor: dictionary + encoder, ready for the encode
-/// phase.
+/// phase. Implements [`KeyCodec`](crate::codec::KeyCodec) — the unified
+/// fallible encode/decode surface serving layers program against.
 #[derive(Debug)]
 pub struct Hope {
     scheme: Scheme,
@@ -151,6 +181,9 @@ pub struct Hope {
     intervals: IntervalSet,
     codes: Vec<crate::bitpack::Code>,
     timings: BuildTimings,
+    /// Lazily built byte-table decoder backing [`Hope::decode_to`]; built
+    /// at most once and shared across threads.
+    shared_decoder: std::sync::OnceLock<crate::decoder::FastDecoder>,
 }
 
 impl Hope {
@@ -174,14 +207,23 @@ impl Hope {
     ///
     /// This is the query-probe hot path: no per-key `Vec`, and every
     /// scheme takes its [`FastEncoder`](crate::fast_encoder::FastEncoder)
-    /// table (fused code table or prefix automaton).
+    /// table (fused code table or prefix automaton). Part of the
+    /// [`KeyCodec`](crate::codec::KeyCodec) surface, so it validates the
+    /// key; the unvalidated low-level walk stays available as
+    /// [`Encoder::encode_to`].
+    ///
+    /// # Errors
+    ///
+    /// [`HopeError::KeyTooLong`] when `key` exceeds
+    /// [`MAX_KEY_BYTES`](crate::codec::MAX_KEY_BYTES).
     #[inline]
     pub fn encode_to<'s>(
         &self,
         key: &[u8],
         scratch: &'s mut crate::encoder::EncodeScratch,
-    ) -> &'s [u8] {
-        self.encoder.encode_to(key, scratch)
+    ) -> Result<&'s [u8], HopeError> {
+        crate::codec::validate_key_len(key)?;
+        Ok(self.encoder.encode_to(key, scratch))
     }
 
     /// Encode a sorted batch with prefix reuse (Appendix B).
@@ -212,14 +254,46 @@ impl Hope {
     /// Allocation-free [`Hope::encode_range_bounds`]: pair-encode into a
     /// reusable scratch and return the two padded byte strings. Same
     /// boundary-tie caveat as the allocating variant.
+    ///
+    /// # Errors
+    ///
+    /// [`HopeError::KeyTooLong`] when either bound exceeds
+    /// [`MAX_KEY_BYTES`](crate::codec::MAX_KEY_BYTES).
     #[inline]
     pub fn encode_range_bounds_to<'s>(
         &self,
         low: &[u8],
         high: &[u8],
         scratch: &'s mut crate::encoder::EncodeScratch,
-    ) -> (&'s [u8], &'s [u8]) {
-        self.encoder.encode_pair_to(low, high, scratch)
+    ) -> Result<(&'s [u8], &'s [u8]), HopeError> {
+        crate::codec::validate_key_len(low)?;
+        crate::codec::validate_key_len(high)?;
+        Ok(self.encoder.encode_pair_to(low, high, scratch))
+    }
+
+    /// Allocation-free decode of `bit_len` bits of padded encoded bytes
+    /// back to the source key, via a lazily built, cached
+    /// [`FastDecoder`](crate::decoder::FastDecoder) (the
+    /// [`KeyCodec`](crate::codec::KeyCodec) decode surface). The first
+    /// call pays the table build; later calls share it across threads.
+    ///
+    /// # Errors
+    ///
+    /// [`HopeError::CorruptEncoding`] on a corrupt stream.
+    pub fn decode_to<'s>(
+        &self,
+        enc: &[u8],
+        bit_len: usize,
+        scratch: &'s mut crate::decoder::DecodeScratch,
+    ) -> Result<&'s [u8], HopeError> {
+        self.shared_fast_decoder().decode_bits_to(enc, bit_len, scratch)
+    }
+
+    /// The lazily built table decoder behind [`Hope::decode_to`] — one
+    /// per compressor, built on first use and shared thereafter (unlike
+    /// [`Hope::fast_decoder`], which constructs a fresh table per call).
+    pub fn shared_fast_decoder(&self) -> &crate::decoder::FastDecoder {
+        self.shared_decoder.get_or_init(|| self.fast_decoder())
     }
 
     /// Access the low-level encoder.
@@ -266,6 +340,36 @@ impl Hope {
     /// The interval division backing the dictionary (inspection/tests).
     pub fn intervals(&self) -> &IntervalSet {
         &self.intervals
+    }
+}
+
+/// [`Hope`] is the reference implementation of the unified codec surface:
+/// the trait methods delegate to the inherent fast paths above.
+impl crate::codec::KeyCodec for Hope {
+    fn encode_to<'s>(
+        &self,
+        key: &[u8],
+        scratch: &'s mut crate::encoder::EncodeScratch,
+    ) -> Result<&'s [u8], HopeError> {
+        Hope::encode_to(self, key, scratch)
+    }
+
+    fn encode_range_bounds_to<'s>(
+        &self,
+        low: &[u8],
+        high: &[u8],
+        scratch: &'s mut crate::encoder::EncodeScratch,
+    ) -> Result<(&'s [u8], &'s [u8]), HopeError> {
+        Hope::encode_range_bounds_to(self, low, high, scratch)
+    }
+
+    fn decode_to<'s>(
+        &self,
+        enc: &[u8],
+        bit_len: usize,
+        scratch: &'s mut crate::decoder::DecodeScratch,
+    ) -> Result<&'s [u8], HopeError> {
+        Hope::decode_to(self, enc, bit_len, scratch)
     }
 }
 
@@ -345,5 +449,34 @@ mod tests {
     fn error_display() {
         assert!(HopeError::EmptySample.to_string().contains("empty"));
         assert!(HopeError::ZeroDictionarySize.to_string().contains("positive"));
+        assert!(HopeError::KeyTooLong { len: 9, max: 4 }.to_string().contains("9 bytes"));
+        assert!(HopeError::CorruptEncoding { bit_len: 17 }.to_string().contains("17-bit"));
+    }
+
+    #[test]
+    fn hope_implements_the_unified_codec_surface() {
+        use crate::codec::{KeyCodec, MAX_KEY_BYTES};
+        let hope = HopeBuilder::new(Scheme::DoubleChar).build_from_sample(sample()).unwrap();
+        let codec: &dyn KeyCodec = &hope;
+        let mut enc = crate::encoder::EncodeScratch::new();
+        let mut dec = crate::decoder::DecodeScratch::new();
+        let bytes = codec.encode_to(b"com.gmail@user0042", &mut enc).unwrap().to_vec();
+        let bits = enc.bit_len();
+        assert_eq!(bytes, hope.encode(b"com.gmail@user0042").into_bytes());
+        let back = codec.decode_to(&bytes, bits, &mut dec).unwrap();
+        assert_eq!(back, b"com.gmail@user0042");
+        // The pair surface brackets and validates.
+        let (lo, hi) = codec.encode_range_bounds_to(b"a", b"b", &mut enc).unwrap();
+        assert!(lo <= hi);
+        let giant = vec![b'x'; MAX_KEY_BYTES + 1];
+        assert!(matches!(codec.encode_to(&giant, &mut enc), Err(HopeError::KeyTooLong { .. })));
+        // Truncating the last bit cuts the final code mid-stream; a
+        // prefix-free code set can only fail to notice when that final
+        // code was a single bit, which a 65K-entry dictionary never
+        // assigns. Corruption surfaces as an error, not a panic.
+        assert!(matches!(
+            codec.decode_to(&bytes, bits - 1, &mut dec),
+            Err(HopeError::CorruptEncoding { .. })
+        ));
     }
 }

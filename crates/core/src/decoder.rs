@@ -47,6 +47,7 @@
 //! ```
 
 use crate::bitpack::{Code, EncodedKey};
+use crate::builder::HopeError;
 
 /// Default cap on the number of [`FastDecoder`] byte-table states. One
 /// state is a 256-entry row of 16-byte entries (4 KiB), so 2048 states
@@ -91,11 +92,19 @@ impl DecodeScratch {
     pub fn new() -> Self {
         Self::default()
     }
+
+    /// Fill the single-key buffer with raw bytes and return it — the
+    /// identity "decode" used by [`IdentityCodec`](crate::codec::IdentityCodec).
+    pub(crate) fn fill(&mut self, bytes: &[u8]) -> &[u8] {
+        self.out.clear();
+        self.out.extend_from_slice(bytes);
+        &self.out
+    }
 }
 
 /// A batch of decoded keys, laid out back-to-back in one flat buffer
 /// (borrowed from the [`DecodeScratch`] that produced it).
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct DecodedBatch<'s> {
     flat: &'s [u8],
     ends: &'s [usize],
@@ -226,26 +235,40 @@ impl Decoder {
 
     /// Decode an encoded key back to the original bytes.
     ///
-    /// Returns `None` if the bitstream does not end exactly on a code
-    /// boundary (impossible for encoder output; indicates corruption).
+    /// # Errors
+    ///
+    /// [`HopeError::CorruptEncoding`] if the bitstream does not end
+    /// exactly on a code boundary (impossible for encoder output;
+    /// indicates corruption).
     ///
     /// Allocates a fresh `Vec`; loops should prefer [`Decoder::decode_to`]
     /// with a reused [`DecodeScratch`].
-    pub fn decode(&self, key: &EncodedKey) -> Option<Vec<u8>> {
+    pub fn decode(&self, key: &EncodedKey) -> Result<Vec<u8>, HopeError> {
         let mut out = Vec::with_capacity(key.byte_len() * 2);
-        self.decode_append(key.as_bytes(), key.bit_len(), &mut out).then_some(out)
+        if self.decode_append(key.as_bytes(), key.bit_len(), &mut out) {
+            Ok(out)
+        } else {
+            Err(HopeError::CorruptEncoding { bit_len: key.bit_len() })
+        }
     }
 
     /// Allocation-free [`Decoder::decode`]: fill `scratch` and return the
     /// decoded bytes (invalidated by the next call on the same scratch).
+    ///
+    /// # Errors
+    ///
+    /// [`HopeError::CorruptEncoding`] on a corrupt stream.
     pub fn decode_to<'s>(
         &self,
         key: &EncodedKey,
         scratch: &'s mut DecodeScratch,
-    ) -> Option<&'s [u8]> {
+    ) -> Result<&'s [u8], HopeError> {
         scratch.out.clear();
-        self.decode_append(key.as_bytes(), key.bit_len(), &mut scratch.out)
-            .then_some(scratch.out.as_slice())
+        if self.decode_append(key.as_bytes(), key.bit_len(), &mut scratch.out) {
+            Ok(scratch.out.as_slice())
+        } else {
+            Err(HopeError::CorruptEncoding { bit_len: key.bit_len() })
+        }
     }
 
     /// Bytes of memory used by the trie.
@@ -425,70 +448,96 @@ impl FastDecoder {
         at == 0
     }
 
-    /// Decode an encoded key back to the original bytes (`None` on a
-    /// corrupt stream). Allocates; loops should prefer
-    /// [`FastDecoder::decode_to`] / [`FastDecoder::decode_batch`].
-    pub fn decode(&self, key: &EncodedKey) -> Option<Vec<u8>> {
+    /// Decode an encoded key back to the original bytes
+    /// ([`HopeError::CorruptEncoding`] on a corrupt stream). Allocates;
+    /// loops should prefer [`FastDecoder::decode_to`] /
+    /// [`FastDecoder::decode_batch`].
+    pub fn decode(&self, key: &EncodedKey) -> Result<Vec<u8>, HopeError> {
         let mut out = Vec::with_capacity(key.byte_len() * 2);
-        self.decode_append(key.as_bytes(), key.bit_len(), &mut out).then_some(out)
+        if self.decode_append(key.as_bytes(), key.bit_len(), &mut out) {
+            Ok(out)
+        } else {
+            Err(HopeError::CorruptEncoding { bit_len: key.bit_len() })
+        }
     }
 
     /// Allocation-free single-key decode into a reused scratch.
+    ///
+    /// # Errors
+    ///
+    /// [`HopeError::CorruptEncoding`] on a corrupt stream.
     pub fn decode_to<'s>(
         &self,
         key: &EncodedKey,
         scratch: &'s mut DecodeScratch,
-    ) -> Option<&'s [u8]> {
+    ) -> Result<&'s [u8], HopeError> {
         self.decode_bits_to(key.as_bytes(), key.bit_len(), scratch)
     }
 
     /// Allocation-free decode of raw padded bytes with an exact bit
     /// length (the form scan paths carry).
+    ///
+    /// # Errors
+    ///
+    /// [`HopeError::CorruptEncoding`] on a corrupt stream.
     pub fn decode_bits_to<'s>(
         &self,
         bytes: &[u8],
         bit_len: usize,
         scratch: &'s mut DecodeScratch,
-    ) -> Option<&'s [u8]> {
+    ) -> Result<&'s [u8], HopeError> {
         scratch.out.clear();
-        self.decode_append(bytes, bit_len, &mut scratch.out).then_some(scratch.out.as_slice())
+        if self.decode_append(bytes, bit_len, &mut scratch.out) {
+            Ok(scratch.out.as_slice())
+        } else {
+            Err(HopeError::CorruptEncoding { bit_len })
+        }
     }
 
     /// Decode a batch of `(padded bytes, bit length)` items back-to-back
     /// into the scratch's flat buffer — the shape of a range scan's hit
-    /// list. Zero heap allocations once the scratch is warm; `None` if any
-    /// item is corrupt (all-or-nothing).
+    /// list. Zero heap allocations once the scratch is warm.
+    ///
+    /// # Errors
+    ///
+    /// [`HopeError::CorruptEncoding`] if any item is corrupt
+    /// (all-or-nothing).
     pub fn decode_batch<'s>(
         &self,
         items: &[(&[u8], usize)],
         scratch: &'s mut DecodeScratch,
-    ) -> Option<DecodedBatch<'s>> {
+    ) -> Result<DecodedBatch<'s>, HopeError> {
         scratch.flat.clear();
         scratch.ends.clear();
         for &(bytes, bit_len) in items {
             if !self.decode_append(bytes, bit_len, &mut scratch.flat) {
-                return None;
+                return Err(HopeError::CorruptEncoding { bit_len });
             }
             scratch.ends.push(scratch.flat.len());
         }
-        Some(DecodedBatch { flat: &scratch.flat, ends: &scratch.ends })
+        Ok(DecodedBatch { flat: &scratch.flat, ends: &scratch.ends })
     }
 
     /// [`FastDecoder::decode_batch`] over [`EncodedKey`]s.
+    ///
+    /// # Errors
+    ///
+    /// [`HopeError::CorruptEncoding`] if any key is corrupt
+    /// (all-or-nothing).
     pub fn decode_batch_keys<'s>(
         &self,
         keys: &[EncodedKey],
         scratch: &'s mut DecodeScratch,
-    ) -> Option<DecodedBatch<'s>> {
+    ) -> Result<DecodedBatch<'s>, HopeError> {
         scratch.flat.clear();
         scratch.ends.clear();
         for key in keys {
             if !self.decode_append(key.as_bytes(), key.bit_len(), &mut scratch.flat) {
-                return None;
+                return Err(HopeError::CorruptEncoding { bit_len: key.bit_len() });
             }
             scratch.ends.push(scratch.flat.len());
         }
-        Some(DecodedBatch { flat: &scratch.flat, ends: &scratch.ends })
+        Ok(DecodedBatch { flat: &scratch.flat, ends: &scratch.ends })
     }
 
     /// Number of tabled states (≤ the build-time budget; diagnostics).
@@ -537,10 +586,10 @@ mod tests {
         let mut scratch = DecodeScratch::new();
         for key in keys {
             let e = enc.encode(key);
-            assert_eq!(dec.decode(&e).as_deref(), Some(key.as_slice()), "{scheme}: {key:?}");
-            assert_eq!(dec.decode_to(&e, &mut scratch), Some(key.as_slice()), "{scheme}");
-            assert_eq!(fast.decode(&e).as_deref(), Some(key.as_slice()), "{scheme}");
-            assert_eq!(fast.decode_to(&e, &mut scratch), Some(key.as_slice()), "{scheme}");
+            assert_eq!(dec.decode(&e).as_deref(), Ok(key.as_slice()), "{scheme}: {key:?}");
+            assert_eq!(dec.decode_to(&e, &mut scratch), Ok(key.as_slice()), "{scheme}");
+            assert_eq!(fast.decode(&e).as_deref(), Ok(key.as_slice()), "{scheme}");
+            assert_eq!(fast.decode_to(&e, &mut scratch), Ok(key.as_slice()), "{scheme}");
         }
         // Batch decode reproduces every key in order.
         let encoded: Vec<EncodedKey> = keys.iter().map(|k| enc.encode(k)).collect();
@@ -589,18 +638,21 @@ mod tests {
         let mut scratch = DecodeScratch::new();
         // "1" alone is a dangling half-code.
         let bad = EncodedKey::from_parts(vec![0b1000_0000], 1);
-        assert_eq!(dec.decode(&bad), None);
-        assert_eq!(fast.decode_to(&bad, &mut scratch), None);
+        assert_eq!(dec.decode(&bad), Err(HopeError::CorruptEncoding { bit_len: 1 }));
+        assert!(fast.decode_to(&bad, &mut scratch).is_err());
         // "0" hits an absent branch.
         let bad = EncodedKey::from_parts(vec![0b0000_0000], 1);
-        assert_eq!(dec.decode(&bad), None);
-        assert_eq!(fast.decode_to(&bad, &mut scratch), None);
+        assert!(dec.decode(&bad).is_err());
+        assert!(fast.decode_to(&bad, &mut scratch).is_err());
         // A full byte of absent branches exercises the table's invalid
         // entries (8 zero bits can never complete these codes).
         let bad = EncodedKey::from_parts(vec![0u8], 8);
-        assert_eq!(dec.decode(&bad), None);
-        assert_eq!(fast.decode(&bad), None);
-        assert!(fast.decode_batch(&[(&[0u8][..], 8)], &mut scratch).is_none());
+        assert!(dec.decode(&bad).is_err());
+        assert!(fast.decode(&bad).is_err());
+        assert_eq!(
+            fast.decode_batch(&[(&[0u8][..], 8)], &mut scratch),
+            Err(HopeError::CorruptEncoding { bit_len: 8 })
+        );
     }
 
     #[test]
@@ -614,7 +666,7 @@ mod tests {
         assert!(tiny.memory_bytes() < full.memory_bytes());
         // Both decode identically regardless of budget.
         let key = EncodedKey::from_parts(vec![0xAB, 0xCD], 16);
-        assert_eq!(full.decode(&key), tiny.decode(&key));
+        assert_eq!(full.decode(&key).ok(), tiny.decode(&key).ok());
     }
 
     #[test]

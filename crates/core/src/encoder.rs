@@ -67,7 +67,7 @@ pub struct Encoder {
 /// let hope = HopeBuilder::new(Scheme::DoubleChar).build_from_sample(sample).unwrap();
 ///
 /// let mut scratch = EncodeScratch::new();
-/// let bytes = hope.encode_to(b"com.gmail@carol", &mut scratch).to_vec();
+/// let bytes = hope.encode_to(b"com.gmail@carol", &mut scratch).unwrap().to_vec();
 /// assert_eq!(bytes, hope.encode(b"com.gmail@carol").into_bytes());
 /// assert_eq!(scratch.bit_len(), hope.encode(b"com.gmail@carol").bit_len());
 /// ```
@@ -98,6 +98,26 @@ impl EncodeScratch {
     #[inline]
     pub fn pair_bit_lens(&self) -> (usize, usize) {
         (self.lo_bits, self.hi_bits)
+    }
+
+    /// Fill the scratch with the key's own bytes (identity encoding) —
+    /// used by [`IdentityCodec`](crate::codec::IdentityCodec).
+    pub(crate) fn fill_identity(&mut self, key: &[u8]) -> &[u8] {
+        self.lo.clear();
+        self.lo.extend_from_slice(key);
+        self.lo_bits = key.len() * 8;
+        &self.lo
+    }
+
+    /// Pair form of [`EncodeScratch::fill_identity`].
+    pub(crate) fn fill_identity_pair(&mut self, low: &[u8], high: &[u8]) -> (&[u8], &[u8]) {
+        self.lo.clear();
+        self.lo.extend_from_slice(low);
+        self.lo_bits = low.len() * 8;
+        self.hi.clear();
+        self.hi.extend_from_slice(high);
+        self.hi_bits = high.len() * 8;
+        (&self.lo, &self.hi)
     }
 }
 

@@ -44,6 +44,7 @@ pub mod axis;
 pub mod bitpack;
 pub mod builder;
 pub mod code_assign;
+pub mod codec;
 pub mod decoder;
 pub mod dict;
 pub mod encoder;
@@ -55,8 +56,36 @@ pub mod stats;
 
 pub use bitpack::{Code, EncodedKey};
 pub use builder::{BuildTimings, Hope, HopeBuilder, HopeError};
+pub use codec::{IdentityCodec, KeyCodec, MAX_KEY_BYTES};
 pub use decoder::{DecodeScratch, DecodedBatch, Decoder, FastDecoder};
 pub use encoder::{EncodeScratch, Encoder};
 pub use fast_encoder::FastEncoder;
-pub use index::OrderedIndex;
+pub use index::{OrderedIndex, Value};
 pub use selector::Scheme;
+
+/// One-stop import for the v1 public API.
+///
+/// Pulls in the builder, the compressor, the unified codec surface, the
+/// generic ordered-index contract and the reusable scratch types — the
+/// names ~every embedding needs:
+///
+/// ```
+/// use hope::prelude::*;
+///
+/// let sample = vec![b"com.gmail@alice".to_vec(), b"com.gmail@bob".to_vec()];
+/// let hope = HopeBuilder::new(Scheme::DoubleChar).build_from_sample(sample)?;
+/// let mut enc = EncodeScratch::new();
+/// let mut dec = DecodeScratch::new();
+/// let bytes = hope.encode_to(b"com.gmail@carol", &mut enc)?.to_vec();
+/// assert_eq!(hope.decode_to(&bytes, enc.bit_len(), &mut dec)?, b"com.gmail@carol");
+/// # Ok::<(), HopeError>(())
+/// ```
+pub mod prelude {
+    pub use crate::bitpack::EncodedKey;
+    pub use crate::builder::{Hope, HopeBuilder, HopeError};
+    pub use crate::codec::{IdentityCodec, KeyCodec, MAX_KEY_BYTES};
+    pub use crate::decoder::{DecodeScratch, DecodedBatch, Decoder, FastDecoder};
+    pub use crate::encoder::EncodeScratch;
+    pub use crate::index::{OrderedIndex, Value};
+    pub use crate::selector::Scheme;
+}

@@ -31,7 +31,12 @@ use crate::axis::IntervalSet;
 use crate::builder::HopeError;
 
 /// The six compression schemes of the paper (§3.3, Table 1).
+///
+/// `#[non_exhaustive]`: future PRs may add schemes without a breaking
+/// change, so downstream matches need a wildcard arm (iterate
+/// [`Scheme::ALL`] for "every scheme" loops).
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+#[non_exhaustive]
 pub enum Scheme {
     /// FIVC: 256 single-character intervals, Hu-Tucker codes (the classic
     /// order-preserving Huffman analogue).

@@ -33,7 +33,7 @@ fn check_equivalence(hope: &Hope, scheme: Scheme, probes: &[Vec<u8>]) {
         // Point encode (allocating) takes the fast path when present.
         assert_eq!(hope.encode(p), generic, "{scheme}: encode({p:?})");
         // Scratch encode returns the same padded bytes and bit length.
-        let bytes = hope.encode_to(p, &mut scratch);
+        let bytes = hope.encode_to(p, &mut scratch).expect("within MAX_KEY_BYTES");
         assert_eq!(bytes, generic.as_bytes(), "{scheme}: encode_to({p:?})");
         assert_eq!(scratch.bit_len(), generic.bit_len(), "{scheme}: encode_to({p:?}) bits");
     }

@@ -9,16 +9,27 @@
 
 use hope::decoder::Decoder;
 use hope::dict::{ArtDict, BitmapTrieDict, Dict, DoubleCharDict, SingleCharDict, SortedDict};
-use hope::{Encoder, Hope, HopeBuilder, HopeError, Scheme};
+use hope::{Encoder, FastDecoder, Hope, HopeBuilder, HopeError, KeyCodec, OrderedIndex, Scheme};
 
-fn assert_send_sync<T: Send + Sync>() {}
+fn assert_send_sync<T: Send + Sync + ?Sized>() {}
 
 #[test]
 fn encoder_and_decoder_are_send_sync() {
     assert_send_sync::<Encoder>();
     assert_send_sync::<Decoder>();
+    assert_send_sync::<FastDecoder>();
     assert_send_sync::<Hope>();
     assert_send_sync::<HopeError>();
+}
+
+#[test]
+fn v1_trait_objects_are_send_sync() {
+    // The unified codec surface and the generic index contract are both
+    // usable behind shared references from many threads.
+    assert_send_sync::<dyn KeyCodec>();
+    assert_send_sync::<dyn OrderedIndex<u64>>();
+    assert_send_sync::<dyn OrderedIndex<Vec<u8>>>();
+    assert_send_sync::<Box<dyn OrderedIndex<u64>>>();
 }
 
 #[test]

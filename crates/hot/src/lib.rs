@@ -19,7 +19,10 @@
 //! Differences from the original (see DESIGN.md): in-node search is
 //! binary instead of SIMD, and compound nodes hold separator arrays rather
 //! than bit-level Patricia slices. Neither changes the asymptotics the
-//! paper's figures measure.
+//! paper's figures measure. The trie is generic over its value payload
+//! (`Hot<V>`, any [`hope::Value`]; defaults to `u64` record ids) and
+//! implements the [`hope::OrderedIndex<V>`] contract serving layers
+//! program against.
 //!
 //! ```
 //! use hope_hot::Hot;
@@ -47,23 +50,24 @@ enum Node {
     Inner { skip: u32, seps: Vec<Box<[u8]>>, children: Vec<u32> },
 }
 
-/// The height-optimized trie.
+/// The height-optimized trie over byte-string keys and `V` values
+/// (default: `u64` ids).
 #[derive(Debug)]
-pub struct Hot {
+pub struct Hot<V = u64> {
     nodes: Vec<Node>,
     root: u32,
     /// The simulated tuple store: full keys + values. Navigation uses only
     /// partial keys; exact results are verified here.
-    records: Vec<(Box<[u8]>, u64)>,
+    records: Vec<(Box<[u8]>, V)>,
 }
 
-impl Default for Hot {
+impl<V> Default for Hot<V> {
     fn default() -> Self {
         Self::new()
     }
 }
 
-impl Hot {
+impl<V> Hot<V> {
     /// New empty trie.
     pub fn new() -> Self {
         Hot { nodes: vec![Node::Leaf { recs: Vec::new() }], root: 0, records: Vec::new() }
@@ -101,7 +105,7 @@ impl Hot {
 
     /// Memory of the simulated record heap (full keys + values).
     pub fn record_memory_bytes(&self) -> usize {
-        self.records.iter().map(|(k, _)| std::mem::size_of::<(Box<[u8]>, u64)>() + k.len()).sum()
+        self.records.iter().map(|(k, _)| std::mem::size_of::<(Box<[u8]>, V)>() + k.len()).sum()
     }
 
     /// Tree height in levels (1 = a single leaf).
@@ -142,7 +146,8 @@ impl Hot {
     }
 
     /// Point lookup: navigate by partial keys, verify against the record.
-    pub fn get(&self, key: &[u8]) -> Option<u64> {
+    /// Borrows the stored value; see [`Hot::get`] for the cloning form.
+    pub fn get_ref(&self, key: &[u8]) -> Option<&V> {
         let mut at = self.root;
         loop {
             match &self.nodes[at as usize] {
@@ -154,18 +159,26 @@ impl Hot {
                 Node::Leaf { recs } => {
                     let i = recs.partition_point(|&r| self.rec_key(r) < key);
                     return (i < recs.len() && self.rec_key(recs[i]) == key)
-                        .then(|| self.records[recs[i] as usize].1);
+                        .then(|| &self.records[recs[i] as usize].1);
                 }
             }
         }
     }
 
+    /// Point lookup, cloning the stored value (a copy for `u64` ids). Use
+    /// [`Hot::get_ref`] to borrow instead.
+    pub fn get(&self, key: &[u8]) -> Option<V>
+    where
+        V: Clone,
+    {
+        self.get_ref(key).cloned()
+    }
+
     /// Insert or update; returns the previous value if the key existed.
-    pub fn insert(&mut self, key: &[u8], value: u64) -> Option<u64> {
+    pub fn insert(&mut self, key: &[u8], value: V) -> Option<V> {
         // Update in place if present (records are authoritative).
         if let Some(rec) = self.find_record(key) {
-            let old = self.records[rec as usize].1;
-            self.records[rec as usize].1 = value;
+            let old = std::mem::replace(&mut self.records[rec as usize].1, value);
             return Some(old);
         }
         self.records.push((key.into(), value));
@@ -299,7 +312,10 @@ impl Hot {
     }
 
     /// Range scan: values of up to `count` keys `>= start`, in key order.
-    pub fn scan(&self, start: &[u8], count: usize) -> Vec<u64> {
+    pub fn scan(&self, start: &[u8], count: usize) -> Vec<V>
+    where
+        V: Clone,
+    {
         let mut out = Vec::with_capacity(count.min(64));
         self.scan_into(start, count, &mut out);
         out
@@ -307,19 +323,51 @@ impl Hot {
 
     /// Allocation-free [`Hot::scan`]: append up to `count` values to a
     /// caller-owned buffer (scan loops reuse one across probes).
-    pub fn scan_into(&self, start: &[u8], count: usize, out: &mut Vec<u64>) {
-        self.scan_rec(self.root, start, true, out.len().saturating_add(count), out);
+    pub fn scan_into(&self, start: &[u8], count: usize, out: &mut Vec<V>)
+    where
+        V: Clone,
+    {
+        self.scan_rec(self.root, start, None, true, out.len().saturating_add(count), out);
     }
 
-    /// `stop` is the absolute output length to halt at (append semantics).
+    /// Bounded range scan: values of up to `limit` keys in `low..=high`
+    /// (inclusive on both ends), in key order.
+    pub fn range(&self, low: &[u8], high: &[u8], limit: usize) -> Vec<V>
+    where
+        V: Clone,
+    {
+        let mut out = Vec::with_capacity(limit.min(64));
+        self.range_into(low, high, limit, &mut out);
+        out
+    }
+
+    /// Allocation-free [`Hot::range`]: append up to `limit` values to a
+    /// caller-owned buffer (scan loops reuse one across probes).
+    pub fn range_into(&self, low: &[u8], high: &[u8], limit: usize, out: &mut Vec<V>)
+    where
+        V: Clone,
+    {
+        if low > high {
+            return;
+        }
+        self.scan_rec(self.root, low, Some(high), true, out.len().saturating_add(limit), out);
+    }
+
+    /// `stop` is the absolute output length to halt at (append
+    /// semantics); `high` is the optional inclusive upper bound — the
+    /// first record above it stops the walk.
     fn scan_rec(
         &self,
         at: u32,
         start: &[u8],
+        high: Option<&[u8]>,
         bounded: bool,
         stop: usize,
-        out: &mut Vec<u64>,
-    ) -> bool {
+        out: &mut Vec<V>,
+    ) -> bool
+    where
+        V: Clone,
+    {
         if out.len() >= stop {
             return false;
         }
@@ -331,7 +379,12 @@ impl Hot {
                     if out.len() >= stop {
                         return false;
                     }
-                    out.push(self.records[r as usize].1);
+                    if let Some(h) = high {
+                        if self.rec_key(r) > h {
+                            return false; // every later key is larger still
+                        }
+                    }
+                    out.push(self.records[r as usize].1.clone());
                 }
                 out.len() < stop
             }
@@ -360,7 +413,7 @@ impl Hot {
                 }
                 for (i, &c) in children.iter().enumerate().skip(from_child) {
                     let b = boundary && i == from_child;
-                    if !self.scan_rec(c, start, b, stop, out) {
+                    if !self.scan_rec(c, start, high, b, stop, out) {
                         return false;
                     }
                 }
@@ -391,6 +444,36 @@ impl Hot {
             }
         }
         sum as f64 / n.max(1) as f64
+    }
+}
+
+/// HOT satisfies the generic ordered-index contract HOPE serving layers
+/// program against, for any value payload. `memory_bytes` counts both the
+/// partial-key compound nodes and the record heap — behind this trait the
+/// trie is the full store, not an index over an external table.
+impl<V: hope::Value> hope::OrderedIndex<V> for Hot<V> {
+    fn get(&self, key: &[u8]) -> Option<&V> {
+        Hot::get_ref(self, key)
+    }
+
+    fn insert(&mut self, key: &[u8], value: V) -> Option<V> {
+        Hot::insert(self, key, value)
+    }
+
+    fn scan_into(&self, start: &[u8], count: usize, out: &mut Vec<V>) {
+        Hot::scan_into(self, start, count, out)
+    }
+
+    fn range_into(&self, low: &[u8], high: &[u8], limit: usize, out: &mut Vec<V>) {
+        Hot::range_into(self, low, high, limit, out)
+    }
+
+    fn len(&self) -> usize {
+        Hot::len(self)
+    }
+
+    fn memory_bytes(&self) -> usize {
+        self.index_memory_bytes() + self.record_memory_bytes()
     }
 }
 
@@ -479,6 +562,33 @@ mod tests {
     }
 
     #[test]
+    fn bounded_range_is_inclusive_and_ordered() {
+        let mut h = Hot::new();
+        for i in 0..500u64 {
+            h.insert(format!("user{i:04}").as_bytes(), i);
+        }
+        assert_eq!(h.range(b"user0100", b"user0104", 10), vec![100, 101, 102, 103, 104]);
+        assert_eq!(h.range(b"user0100", b"user0104", 3).len(), 3);
+        assert!(h.range(b"zz", b"aa", 10).is_empty());
+        let mut buf = vec![7u64];
+        h.range_into(b"user0000", b"user0001", 10, &mut buf);
+        assert_eq!(buf, vec![7, 0, 1]);
+    }
+
+    #[test]
+    fn non_u64_payloads_round_trip_through_the_trait() {
+        use hope::OrderedIndex;
+        let mut h: Hot<Vec<u8>> = Hot::new();
+        let ix: &mut dyn OrderedIndex<Vec<u8>> = &mut h;
+        assert_eq!(ix.insert(b"a", b"one".to_vec()), None);
+        assert_eq!(ix.insert(b"a", b"two".to_vec()), Some(b"one".to_vec()));
+        assert_eq!(ix.get(b"a"), Some(&b"two".to_vec()));
+        let mut out = Vec::new();
+        ix.range_into(b"a", b"z", 10, &mut out);
+        assert_eq!(out, vec![b"two".to_vec()]);
+    }
+
+    #[test]
     fn index_memory_is_partial() {
         let mut h = Hot::new();
         for i in 0..2000u64 {
@@ -517,6 +627,14 @@ mod tests {
             }
             let want: Vec<u64> = model.range(start.clone()..).take(25).map(|(_, v)| *v).collect();
             prop_assert_eq!(h.scan(&start, 25), want);
+            for pair in probes.chunks(2) {
+                if let [a, b] = pair {
+                    let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+                    let want: Vec<u64> =
+                        model.range(lo.clone()..=hi.clone()).take(10).map(|(_, v)| *v).collect();
+                    prop_assert_eq!(h.range(lo, hi, 10), want, "range {:?}..={:?}", lo, hi);
+                }
+            }
         }
     }
 }

@@ -1,0 +1,301 @@
+//! [`RangeCursor`]: the lazy, zero-alloc range-scan surface of the store.
+//!
+//! The pre-v1 store had three parallel eager entry points (`range`,
+//! `range_with`, `range_into`). v1 replaces them with one lazy cursor and
+//! keeps the old names as thin wrappers:
+//!
+//! * [`RangeCursor::next_hit`] — **pull**: a lending iterator step. Hits
+//!   are fetched from the shards in chunks (under short read-lock holds)
+//!   into cursor-owned buffers and served out as borrows, so the caller
+//!   can pause, interleave other work, and resume — even across a
+//!   concurrent dictionary hot-swap (the cursor pins each shard's
+//!   generation with an epoch handle while traversing it). After the
+//!   buffers warm up, a scan of N hits performs **zero per-hit heap
+//!   allocations** (the payload clone itself is the only copy a
+//!   non-`Copy` `V` pays).
+//! * [`RangeCursor::for_each`] — **push**: consumes the cursor and
+//!   streams the remaining hits straight out of the shard engine with
+//!   borrowed keys and values, no chunk copies, using the probe
+//!   thread-locals. This is the fastest scan shape and exactly the old
+//!   `range_with` visitor path.
+//! * [`RangeCursor::collect_into`] — convenience over `for_each` that
+//!   appends `(key, value)` pairs to a caller-owned buffer.
+//!
+//! ## Consistency
+//!
+//! The cursor pins the generation of the shard it is currently reading
+//! the moment it enters that shard, so a hot-swap mid-scan never tears a
+//! shard's results: the cursor finishes the shard on the superseded
+//! generation (kept alive by its `Arc`) and picks up the *new* generation
+//! only when it crosses into the next shard. Writes that land after the
+//! cursor entered a shard may or may not be observed — the same
+//! read-committed behaviour the push path always had.
+
+use std::sync::Arc;
+
+use hope::{EncodeScratch, Value};
+
+use crate::error::StoreError;
+use crate::generation::Generation;
+use crate::{HopeStore, SlotId};
+
+/// Hits fetched per pull-mode chunk: large enough to amortize the
+/// per-chunk bound re-encode and index descent, small enough to keep
+/// read-lock holds and resume latency short.
+const CHUNK: usize = 256;
+
+/// A lazy cursor over a bounded range query (see the module docs).
+///
+/// Created by [`HopeStore::cursor`]; bounds are inclusive on both ends
+/// and hits arrive in global source-key order, spanning shards.
+#[derive(Debug)]
+pub struct RangeCursor<'a, V: Value = u64> {
+    store: &'a HopeStore<V>,
+    low: Vec<u8>,
+    high: Vec<u8>,
+    /// Hits still allowed by the query's `limit`.
+    remaining: usize,
+    /// Current shard, advancing `..=shard_end`.
+    shard: usize,
+    shard_end: usize,
+    /// Epoch handle pinning the current shard's generation.
+    generation: Option<Arc<Generation<V>>>,
+    /// Resume point within the current shard: the last key already
+    /// emitted (hits continue strictly after it).
+    after: Option<Vec<u8>>,
+    /// Pull-mode chunk buffers: keys back-to-back + end offsets + values.
+    enc: EncodeScratch,
+    slot_ids: Vec<SlotId>,
+    keys_flat: Vec<u8>,
+    key_ends: Vec<u32>,
+    vals: Vec<V>,
+    /// Next buffered hit to serve.
+    pos: usize,
+    done: bool,
+    error: Option<StoreError>,
+}
+
+impl<'a, V: Value> RangeCursor<'a, V> {
+    pub(crate) fn new(
+        store: &'a HopeStore<V>,
+        low: &[u8],
+        high: &[u8],
+        limit: usize,
+    ) -> RangeCursor<'a, V> {
+        let empty = low > high || limit == 0;
+        let (shard, shard_end) = if empty { (1, 0) } else { (store.route(low), store.route(high)) };
+        RangeCursor {
+            store,
+            low: low.to_vec(),
+            high: high.to_vec(),
+            remaining: if empty { 0 } else { limit },
+            shard,
+            shard_end,
+            generation: None,
+            after: None,
+            enc: EncodeScratch::new(),
+            slot_ids: Vec::new(),
+            keys_flat: Vec::new(),
+            key_ends: Vec::new(),
+            vals: Vec::new(),
+            pos: 0,
+            done: empty,
+            error: None,
+        }
+    }
+
+    /// Upper bound on the hits this cursor can still yield: the limit's
+    /// unconsumed budget plus any hits already fetched into the chunk
+    /// buffers but not yet served.
+    pub fn remaining(&self) -> usize {
+        self.remaining + (self.vals.len() - self.pos)
+    }
+
+    /// The error that ended the scan early, if any ([`RangeCursor::next_hit`]
+    /// returns `None` on error; the push adapters return `Err` directly).
+    pub fn error(&self) -> Option<&StoreError> {
+        self.error.as_ref()
+    }
+
+    /// Pull the next hit: `(source key, value)`, borrowed from the
+    /// cursor's buffers until the next call (a lending iterator — this
+    /// deliberately does not implement [`Iterator`], which cannot express
+    /// that lifetime). Returns `None` when the range, the limit, or an
+    /// error ends the scan; check [`RangeCursor::error`] to distinguish.
+    pub fn next_hit(&mut self) -> Option<(&[u8], &V)> {
+        while self.pos >= self.vals.len() {
+            if !self.fetch_chunk() {
+                return None;
+            }
+        }
+        let i = self.pos;
+        self.pos += 1;
+        Some(self.buffered_hit(i))
+    }
+
+    /// The `i`-th hit in the chunk buffers — the one slicing rule both
+    /// consumption paths share.
+    fn buffered_hit(&self, i: usize) -> (&[u8], &V) {
+        let start = if i == 0 { 0 } else { self.key_ends[i - 1] as usize };
+        (&self.keys_flat[start..self.key_ends[i] as usize], &self.vals[i])
+    }
+
+    /// Refill the chunk buffers from the current shard (entering the next
+    /// shard as needed). Returns false when the scan is over.
+    fn fetch_chunk(&mut self) -> bool {
+        self.keys_flat.clear();
+        self.key_ends.clear();
+        self.vals.clear();
+        self.pos = 0;
+        loop {
+            if self.done || self.remaining == 0 {
+                self.done = true;
+                return false;
+            }
+            let generation = match &self.generation {
+                Some(g) => Arc::clone(g),
+                None => {
+                    if self.shard > self.shard_end {
+                        self.done = true;
+                        return false;
+                    }
+                    // Entering a shard: pin its current generation.
+                    let g = self.store.shard_ref(self.shard).current();
+                    self.after = None;
+                    self.generation = Some(Arc::clone(&g));
+                    g
+                }
+            };
+            let chunk = CHUNK.min(self.remaining);
+            let visited = {
+                let Self { low, high, after, enc, slot_ids, keys_flat, key_ends, vals, .. } = self;
+                generation.range_visit(after.as_deref(), low, high, chunk, enc, slot_ids, |k, v| {
+                    keys_flat.extend_from_slice(k);
+                    key_ends.push(keys_flat.len() as u32);
+                    vals.push(v.clone());
+                })
+            };
+            let emitted = match visited {
+                Ok(n) => n,
+                Err(e) => {
+                    self.error = Some(e);
+                    self.done = true;
+                    return false;
+                }
+            };
+            self.remaining -= emitted;
+            if emitted < chunk {
+                // Fewer hits than asked: this shard is exhausted.
+                self.generation = None;
+                self.shard += 1;
+            } else {
+                // Full chunk: remember the resume point (last emitted key),
+                // reusing the buffer across chunks.
+                let last_start = if self.key_ends.len() == 1 {
+                    0
+                } else {
+                    self.key_ends[self.key_ends.len() - 2] as usize
+                };
+                let last = &self.keys_flat[last_start..];
+                let after = self.after.get_or_insert_with(Vec::new);
+                after.clear();
+                after.extend_from_slice(last);
+            }
+            if emitted > 0 {
+                return true;
+            }
+            // Zero hits from an exhausted shard: try the next one.
+        }
+    }
+
+    /// Push adapter: consume the cursor and call `f(key, value)` for
+    /// every remaining hit, returning the total emitted. Already-buffered
+    /// hits are served from the buffers; the rest streams zero-copy
+    /// through the shard engine (the old `range_with` visitor path —
+    /// zero heap allocations per scan once the probe thread-locals are
+    /// warm).
+    ///
+    /// `f` runs under a shard generation's read lock: keep it short and
+    /// never call back into the store from inside it.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Codec`] if a bound fails validation mid-scan (the
+    /// constructor validates bounds, so this is defensive).
+    pub fn for_each<F>(mut self, mut f: F) -> Result<usize, StoreError>
+    where
+        F: FnMut(&[u8], &V),
+    {
+        let mut emitted = 0usize;
+        // Serve what pull mode already fetched.
+        while self.pos < self.vals.len() {
+            let i = self.pos;
+            self.pos += 1;
+            let (k, v) = self.buffered_hit(i);
+            f(k, v);
+            emitted += 1;
+        }
+        if let Some(e) = self.error.take() {
+            return Err(e);
+        }
+        // Stream the rest shard by shard.
+        while !self.done && self.remaining > 0 && self.shard <= self.shard_end {
+            let generation = match self.generation.take() {
+                Some(g) => g,
+                None => self.store.shard_ref(self.shard).current(),
+            };
+            let n = generation.range_with_from(
+                self.after.take().as_deref(),
+                &self.low,
+                &self.high,
+                self.remaining,
+                &mut f,
+            )?;
+            emitted += n;
+            self.remaining -= n;
+            self.shard += 1;
+        }
+        Ok(emitted)
+    }
+
+    /// Collect adapter: append every remaining hit to `out` as an owned
+    /// `(key, value)` pair and return the count appended.
+    ///
+    /// # Errors
+    ///
+    /// As [`RangeCursor::for_each`].
+    pub fn collect_into(self, out: &mut Vec<(Vec<u8>, V)>) -> Result<usize, StoreError> {
+        self.for_each(|k, v| out.push((k.to_vec(), v.clone())))
+    }
+}
+
+/// The cursor's push engine over **borrowed** bounds: what a fresh
+/// cursor's [`RangeCursor::for_each`] does, without the cursor object's
+/// owned-bounds copies. [`HopeStore::range_with`] and
+/// [`HopeStore::range_into`] call this directly so the visitor scan stays
+/// allocation-free end to end (the probe thread-locals carry all scratch).
+pub(crate) fn push_scan<V, F>(
+    store: &HopeStore<V>,
+    low: &[u8],
+    high: &[u8],
+    limit: usize,
+    mut f: F,
+) -> Result<usize, StoreError>
+where
+    V: Value,
+    F: FnMut(&[u8], &V),
+{
+    if low > high || limit == 0 {
+        return Ok(0);
+    }
+    let (s0, s1) = (store.route(low), store.route(high));
+    let mut emitted = 0usize;
+    for shard in s0..=s1 {
+        if emitted == limit {
+            break;
+        }
+        let generation = store.shard_ref(shard).current();
+        emitted += generation.range_with_from(None, low, high, limit - emitted, &mut f)?;
+    }
+    Ok(emitted)
+}

@@ -8,11 +8,11 @@
 //!
 //! ## Concurrency protocol
 //!
-//! * **Readers** (`get`/`range`) clone the `Arc<Generation>` out of the
-//!   epoch slot (a short `RwLock` read) and run against that generation —
-//!   they never block on writers or on a rebuild, and a reader holding a
-//!   superseded generation drains gracefully because the `Arc` keeps it
-//!   alive.
+//! * **Readers** (`get`/range cursors) clone the `Arc<Generation>` out of
+//!   the epoch slot (a short `RwLock` read) and run against that
+//!   generation — they never block on writers or on a rebuild, and a
+//!   reader holding a superseded generation drains gracefully because the
+//!   `Arc` keeps it alive.
 //! * **Writers** (`insert`) serialize on the shard's writer mutex, then
 //!   mutate the current generation through its interior lock.
 //! * **Rebuild** does the expensive work — dictionary build, Hu-Tucker,
@@ -21,15 +21,23 @@
 //!   final splice (writer mutex: replay the log tail, flip the epoch
 //!   slot). Lock order is always `writer → epoch slot → generation data`,
 //!   so the protocol is deadlock-free.
+//!
+//! Shard locks recover from poisoning like the generation's interior lock
+//! does (see [`crate::generation`], "Lock discipline").
 
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex, RwLock};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError, RwLock};
 
 use hope::stats;
-use hope::HopeError;
+use hope::Value;
 
+use crate::error::StoreError;
 use crate::generation::{Entry, Generation};
 use crate::{StoreConfig, SwapReport};
+
+fn lock<'a, T>(m: &'a Mutex<T>) -> MutexGuard<'a, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
 
 /// Uniform reservoir sample (algorithm R) over the keys inserted since the
 /// current generation was installed; reset at every swap so the sample
@@ -76,9 +84,9 @@ impl Reservoir {
 
 /// One partition of the store's key space.
 #[derive(Debug)]
-pub(crate) struct Shard {
+pub(crate) struct Shard<V: Value = u64> {
     /// The epoch slot: the current generation, swapped atomically.
-    gen: RwLock<Arc<Generation>>,
+    gen: RwLock<Arc<Generation<V>>>,
     /// Serializes writers against each other and against the swap splice.
     writer: Mutex<()>,
     /// Serializes whole rebuilds: two overlapping rebuilds could otherwise
@@ -93,8 +101,8 @@ pub(crate) struct Shard {
     reservoir: Mutex<Reservoir>,
 }
 
-impl Shard {
-    pub(crate) fn new(generation: Generation, reservoir_capacity: usize, seed: u64) -> Self {
+impl<V: Value> Shard<V> {
+    pub(crate) fn new(generation: Generation<V>, reservoir_capacity: usize, seed: u64) -> Self {
         Shard {
             gen: RwLock::new(Arc::new(generation)),
             writer: Mutex::new(()),
@@ -106,31 +114,30 @@ impl Shard {
     }
 
     /// Clone the current generation out of the epoch slot.
-    pub(crate) fn current(&self) -> Arc<Generation> {
-        Arc::clone(&self.gen.read().unwrap())
+    pub(crate) fn current(&self) -> Arc<Generation<V>> {
+        Arc::clone(&self.gen.read().unwrap_or_else(PoisonError::into_inner))
     }
 
-    pub(crate) fn get(&self, key: &[u8]) -> Option<u64> {
+    pub(crate) fn get(&self, key: &[u8]) -> Result<Option<V>, StoreError> {
         self.current().get(key)
     }
 
-    /// Zero-allocation visitor scan over the current generation (see
-    /// [`Generation::range_with`]); returns the number of hits visited.
-    pub(crate) fn range_with<F>(&self, low: &[u8], high: &[u8], limit: usize, f: F) -> usize
-    where
-        F: FnMut(&[u8], u64),
-    {
-        self.current().range_with(low, high, limit, f)
+    pub(crate) fn get_with<R>(
+        &self,
+        key: &[u8],
+        f: impl FnOnce(&V) -> R,
+    ) -> Result<Option<R>, StoreError> {
+        self.current().get_with(key, f)
     }
 
-    pub(crate) fn insert(&self, key: &[u8], value: u64) -> Option<u64> {
-        let _w = self.writer.lock().unwrap();
+    pub(crate) fn insert(&self, key: &[u8], value: V) -> Result<Option<V>, StoreError> {
+        let _w = lock(&self.writer);
         let generation = self.current();
-        let (old, footprint) = generation.insert(key, value);
+        let (old, footprint) = generation.insert(key, value)?;
         self.obs_src.fetch_add(footprint.src_bytes, Ordering::Relaxed);
         self.obs_enc.fetch_add(footprint.enc_bytes, Ordering::Relaxed);
-        self.reservoir.lock().unwrap().offer(key);
-        old
+        lock(&self.reservoir).offer(key);
+        Ok(old)
     }
 
     /// CPR observed on the insert traffic of the current generation, or
@@ -166,35 +173,54 @@ impl Shard {
         }
     }
 
+    /// Drift-triggered rebuild: re-checks the trigger under the rebuild
+    /// lock (a concurrent maintenance pass may have just swapped this
+    /// shard, resetting its statistics and reservoir, in which case a
+    /// second back-to-back rebuild would only churn the epoch) and
+    /// returns `Ok(None)` when the rebuild was skipped for that reason.
+    pub(crate) fn maybe_rebuild(
+        &self,
+        shard_id: usize,
+        cfg: &StoreConfig,
+        epoch_counter: &AtomicU64,
+    ) -> Result<Option<SwapReport>, StoreError> {
+        let guard = lock(&self.rebuilding);
+        if !self.needs_rebuild(cfg) {
+            return Ok(None);
+        }
+        self.rebuild_locked(shard_id, cfg, epoch_counter, guard).map(Some)
+    }
+
+    /// Unconditional rebuild (testing/operations): always swaps.
+    pub(crate) fn rebuild_forced(
+        &self,
+        shard_id: usize,
+        cfg: &StoreConfig,
+        epoch_counter: &AtomicU64,
+    ) -> Result<SwapReport, StoreError> {
+        let guard = lock(&self.rebuilding);
+        self.rebuild_locked(shard_id, cfg, epoch_counter, guard)
+    }
+
     /// Build a new generation from the reservoir sample and hot-swap it
     /// into the epoch slot. Readers keep serving the old generation until
     /// the flip and never block. Writers are paused twice: during the
     /// snapshot clone (it holds the generation's data read lock) and
     /// during the replay+flip splice; the expensive dictionary build and
     /// re-encode in between run with no locks held.
-    ///
-    /// Unless `force`d, the trigger is re-checked once the rebuild lock is
-    /// held: a concurrent maintenance pass may have just swapped this
-    /// shard (resetting its statistics and reservoir), in which case a
-    /// second back-to-back rebuild would only churn the epoch. Returns
-    /// `Ok(None)` when the rebuild was skipped for that reason.
-    pub(crate) fn rebuild(
+    fn rebuild_locked(
         &self,
         shard_id: usize,
         cfg: &StoreConfig,
         epoch_counter: &AtomicU64,
-        force: bool,
-    ) -> Result<Option<SwapReport>, HopeError> {
-        let _r = self.rebuilding.lock().unwrap();
-        if !force && !self.needs_rebuild(cfg) {
-            return Ok(None);
-        }
+        _rebuild_guard: MutexGuard<'_, ()>,
+    ) -> Result<SwapReport, StoreError> {
         let old = self.current();
         let (live, watermark) = old.snapshot_live();
 
         // Sample = reservoir (recent traffic), topped up with resident
         // keys when traffic alone is too thin to train a dictionary.
-        let mut sample: Vec<Vec<u8>> = self.reservoir.lock().unwrap().keys.clone();
+        let mut sample: Vec<Vec<u8>> = lock(&self.reservoir).keys.clone();
         if sample.len() < cfg.reservoir_capacity {
             let need = cfg.reservoir_capacity - sample.len();
             let step = (live.len() / need.max(1)).max(1);
@@ -215,11 +241,15 @@ impl Shard {
         );
 
         // Splice: block writers, replay their log tail, flip the epoch.
-        let _w = self.writer.lock().unwrap();
+        // Replay inserts re-encode keys that already passed validation at
+        // their original insert, so a failure here (which would abort the
+        // swap and keep the old generation serving) cannot happen in
+        // practice; `?` still propagates it honestly if it ever does.
+        let _w = lock(&self.writer);
         let delta = old.entries_since(watermark);
         let replayed = delta.len();
         for Entry { key, value } in delta {
-            next.insert(&key, value);
+            next.insert(&key, value)?;
         }
         let report = SwapReport {
             shard: shard_id,
@@ -231,11 +261,11 @@ impl Shard {
             live_keys,
             replayed,
         };
-        *self.gen.write().unwrap() = Arc::new(next);
+        *self.gen.write().unwrap_or_else(PoisonError::into_inner) = Arc::new(next);
         self.obs_src.store(0, Ordering::Relaxed);
         self.obs_enc.store(0, Ordering::Relaxed);
-        self.reservoir.lock().unwrap().reset();
-        Ok(Some(report))
+        lock(&self.reservoir).reset();
+        Ok(report)
     }
 }
 

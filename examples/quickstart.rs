@@ -3,7 +3,7 @@
 //!
 //! Run: `cargo run --release --example quickstart`
 
-use hope::{HopeBuilder, Scheme};
+use hope::prelude::*;
 
 fn main() {
     // 1. Sample keys the way a DBMS would at index-creation time.
@@ -49,11 +49,16 @@ fn main() {
     }
 
     // 4. Order is preserved: sorting encodings sorts the original keys.
+    //    Decoding goes through the unified fallible codec surface
+    //    (`KeyCodec`): corruption would surface as an error, not a panic.
     encoded.sort();
-    let decoder = hope.decoder();
+    let mut scratch = DecodeScratch::new();
     let decoded: Vec<String> = encoded
         .iter()
-        .map(|e| String::from_utf8(decoder.decode(e).expect("lossless")).expect("utf8"))
+        .map(|e| {
+            let back = hope.decode_to(e.as_bytes(), e.bit_len(), &mut scratch).expect("lossless");
+            String::from_utf8(back.to_vec()).expect("utf8")
+        })
         .collect();
     println!("\nsorted by encoding: {decoded:?}");
     let mut expect: Vec<String> = keys.iter().map(|s| s.to_string()).collect();

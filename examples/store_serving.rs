@@ -12,7 +12,7 @@
 use std::sync::Arc;
 use std::time::Duration;
 
-use hope_store::{HopeStore, Maintainer, StoreConfig};
+use hope_store::prelude::*;
 use hope_workloads::generate_email_split;
 
 fn main() {
@@ -35,23 +35,25 @@ fn main() {
         );
     }
 
-    // Serve some reads.
+    // Serve some reads: a point get, then a lazy cursor over a window.
     let (probe_key, probe_val) = &load[1234];
-    assert_eq!(store.get(probe_key), Some(*probe_val));
-    let window = store.range(probe_key, &[probe_key.as_slice(), b"\xff"].concat(), 5);
-    println!(
-        "\npoint get ok; range from {:?} -> {} hits",
-        String::from_utf8_lossy(probe_key),
-        window.len()
-    );
+    assert_eq!(store.get(probe_key).expect("valid key"), Some(*probe_val));
+    let mut window = store
+        .cursor(probe_key, &[probe_key.as_slice(), b"\xff"].concat(), 5)
+        .expect("valid bounds");
+    let mut hits = 0;
+    while let Some((_key, _value)) = window.next_hit() {
+        hits += 1;
+    }
+    println!("\npoint get ok; cursor from {:?} -> {hits} hits", String::from_utf8_lossy(probe_key));
 
     // Background maintenance + drifting writes.
     let maintainer = Maintainer::spawn(Arc::clone(&store), Duration::from_millis(2));
     for (i, k) in email_b.iter().take(30_000).enumerate() {
-        store.insert(k.clone(), i as u64);
+        store.insert(k.clone(), i as u64).expect("valid key");
         if i % 5_000 == 4_999 {
             // Reads stay correct mid-drift, mid-swap.
-            assert_eq!(store.get(probe_key), Some(*probe_val));
+            assert_eq!(store.get(probe_key).expect("valid key"), Some(*probe_val));
             std::thread::sleep(Duration::from_millis(5)); // let maintenance observe
         }
     }
@@ -74,7 +76,11 @@ fn main() {
             r.live_keys
         );
     }
-    assert_eq!(store.get(probe_key), Some(*probe_val), "reads survived every swap");
+    assert_eq!(
+        store.get(probe_key).expect("valid key"),
+        Some(*probe_val),
+        "reads survived every swap"
+    );
     assert_eq!(store.len(), 50_000);
     println!("\nall {} keys still served correctly — no reader ever blocked", store.len());
 }

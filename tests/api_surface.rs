@@ -1,0 +1,149 @@
+//! Public-API surface snapshot: the v1 surface of the `hope` and
+//! `hope_store` crate roots, asserted against the checked-in expectation
+//! file `tests/api_surface.txt`.
+//!
+//! The goal is that future PRs change the v1 surface *deliberately*: any
+//! added, removed or renamed root-level `pub` item (including the
+//! `prelude` re-exports) fails this test until the expectation file is
+//! regenerated — an explicit, reviewable diff.
+//!
+//! To regenerate after an intentional change:
+//!
+//! ```text
+//! UPDATE_API_SURFACE=1 cargo test --test api_surface
+//! ```
+//!
+//! Scope: the crate-root `lib.rs` of both crates — `pub use` re-exports
+//! (brace lists expanded), `pub mod` declarations, and root-level `pub`
+//! type/trait/fn/const declarations. Items declared deeper in module
+//! files are reachable only through these roots, so the snapshot pins the
+//! names an embedder can actually import.
+
+use std::fmt::Write as _;
+use std::path::Path;
+
+/// Extract the public surface of one `lib.rs` source: normalized, sorted
+/// entries like `use bitpack::{Code}` → `use bitpack::Code`.
+fn surface_of(source: &str, crate_name: &str) -> Vec<String> {
+    // Strip line comments (the sources use no block comments in code
+    // position) and join the remainder so multi-line items parse.
+    let joined: String =
+        source.lines().map(|l| l.split("//").next().unwrap_or("")).collect::<Vec<_>>().join("\n");
+
+    let mut out = Vec::new();
+    let mut rest: &str = &joined;
+    while let Some(at) = rest.find("pub ") {
+        // Require a token boundary before `pub` (start, whitespace, or a
+        // brace) so `pub` inside an identifier never matches.
+        let boundary =
+            at == 0 || rest[..at].ends_with(|c: char| c.is_whitespace() || c == '{' || c == '}');
+        let tail = &rest[at + 4..];
+        rest = tail;
+        if !boundary {
+            continue;
+        }
+        let mut words = tail.split_whitespace();
+        match words.next() {
+            Some("use") => {
+                let stmt = tail[3..].split(';').next().unwrap_or("").trim();
+                // Expand a single-level brace list: `a::{B, C as D}`.
+                if let Some((prefix, list)) = stmt.split_once('{') {
+                    let list = list.trim_end_matches('}');
+                    for item in list.split(',') {
+                        let item = item.trim();
+                        if item.is_empty() {
+                            continue;
+                        }
+                        out.push(format!("{crate_name}: use {}{}", prefix.trim(), item));
+                    }
+                } else {
+                    out.push(format!("{crate_name}: use {stmt}"));
+                }
+            }
+            Some(kw @ ("mod" | "struct" | "enum" | "trait" | "fn" | "type" | "const")) => {
+                if let Some(name) = words.next() {
+                    let name: String =
+                        name.chars().take_while(|c| c.is_alphanumeric() || *c == '_').collect();
+                    if !name.is_empty() {
+                        out.push(format!("{crate_name}: {kw} {name}"));
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+    out.sort();
+    out.dedup();
+    out
+}
+
+#[test]
+fn v1_public_surface_matches_the_snapshot() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let mut actual = Vec::new();
+    for (crate_name, lib) in
+        [("hope", "crates/core/src/lib.rs"), ("hope_store", "crates/store/src/lib.rs")]
+    {
+        let src = std::fs::read_to_string(root.join(lib)).expect("crate root readable");
+        actual.extend(surface_of(&src, crate_name));
+    }
+    actual.sort();
+
+    let snapshot_path = root.join("tests/api_surface.txt");
+    if std::env::var_os("UPDATE_API_SURFACE").is_some() {
+        let mut s = String::from(
+            "# v1 public-API surface snapshot (crate roots of `hope` and `hope_store`).\n\
+             # Regenerate deliberately with: UPDATE_API_SURFACE=1 cargo test --test api_surface\n",
+        );
+        for line in &actual {
+            writeln!(s, "{line}").unwrap();
+        }
+        std::fs::write(&snapshot_path, s).expect("write snapshot");
+        return;
+    }
+
+    let expected_raw = std::fs::read_to_string(&snapshot_path).expect(
+        "tests/api_surface.txt missing — generate it with \
+         UPDATE_API_SURFACE=1 cargo test --test api_surface",
+    );
+    let expected: Vec<&str> =
+        expected_raw.lines().filter(|l| !l.starts_with('#') && !l.is_empty()).collect();
+
+    let added: Vec<&String> = actual.iter().filter(|a| !expected.contains(&a.as_str())).collect();
+    let removed: Vec<&&str> =
+        expected.iter().filter(|e| !actual.iter().any(|a| a == **e)).collect();
+    assert!(
+        added.is_empty() && removed.is_empty(),
+        "public API surface changed.\n  added: {added:#?}\n  removed: {removed:#?}\n\
+         If intentional, regenerate the snapshot:\n  \
+         UPDATE_API_SURFACE=1 cargo test --test api_surface"
+    );
+}
+
+/// The parser itself is part of the contract; pin its behaviour.
+#[test]
+fn surface_parser_expands_and_normalizes() {
+    let src = "
+        pub mod prelude;
+        pub use bitpack::{Code, EncodedKey};
+        pub use selector::Scheme;
+        // pub use commented::Out;
+        pub struct Thing<V: Clone = u64> { x: V }
+        pub fn free_fn(x: usize) -> usize { x }
+        pub(crate) fn hidden() {}
+        pub const MAX: usize = 3;
+    ";
+    let got = surface_of(src, "c");
+    assert_eq!(
+        got,
+        vec![
+            "c: const MAX",
+            "c: fn free_fn",
+            "c: mod prelude",
+            "c: struct Thing",
+            "c: use bitpack::Code",
+            "c: use bitpack::EncodedKey",
+            "c: use selector::Scheme",
+        ]
+    );
+}

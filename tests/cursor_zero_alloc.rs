@@ -1,0 +1,108 @@
+//! v1 acceptance: the `RangeCursor` scan paths perform **zero per-hit
+//! heap allocations**. A counting global allocator measures whole scans:
+//! allocation counts must stay a small per-scan constant (cursor
+//! construction owns its bounds; pull mode owns its chunk buffers) and
+//! must not scale with the number of hits.
+//!
+//! This file holds a single `#[test]` so the test harness cannot run a
+//! neighbour concurrently and pollute the global counter.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use hope_store::{HopeStore, StoreConfig};
+
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+// SAFETY: delegates verbatim to the system allocator; the counter is a
+// relaxed atomic with no other side effects.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static COUNTER: CountingAlloc = CountingAlloc;
+
+fn allocs_during(f: impl FnOnce()) -> u64 {
+    let before = ALLOCS.load(Ordering::Relaxed);
+    f();
+    ALLOCS.load(Ordering::Relaxed) - before
+}
+
+#[test]
+fn cursor_scans_allocate_per_scan_constants_not_per_hit() {
+    let pairs = (0..20_000u64).map(|i| (format!("com.gmail@user{i:06}").into_bytes(), i));
+    let store = HopeStore::build(StoreConfig::default(), pairs).unwrap();
+    let low = b"com.gmail@user000100".as_slice();
+    let big_high = b"com.gmail@user018100".as_slice();
+    let small_high = b"com.gmail@user000200".as_slice();
+
+    // Warm-up: grows the probe thread-locals and the allocator's caches.
+    let warm = |limit: usize, high: &[u8]| {
+        let mut n = 0usize;
+        store.range_with(low, high, limit, |_, _| n += 1).unwrap();
+        let mut cur = store.cursor(low, high, limit).unwrap();
+        while cur.next_hit().is_some() {
+            n += 1;
+        }
+        n
+    };
+    warm(20_000, big_high);
+
+    // Push scan (`range_with` = the cursor's push engine over borrowed
+    // bounds): hits are borrowed straight from the shard engine — zero
+    // heap allocations once the probe thread-locals are warm.
+    let mut hits_small = 0usize;
+    let a_small = allocs_during(|| {
+        hits_small = store.range_with(low, small_high, 20_000, |_, _| {}).unwrap();
+    });
+    let mut hits_big = 0usize;
+    let a_big = allocs_during(|| {
+        hits_big = store.range_with(low, big_high, 20_000, |_, _| {}).unwrap();
+    });
+    assert_eq!(hits_small, 101);
+    assert_eq!(hits_big, 18_001);
+    assert_eq!(a_small, 0, "push scan of {hits_small} hits allocated {a_small} times");
+    assert_eq!(a_big, 0, "push scan of {hits_big} hits allocated {a_big} times");
+    assert_eq!(
+        a_small, a_big,
+        "push-scan allocations must not scale with hit count \
+         ({hits_small} hits: {a_small}, {hits_big} hits: {a_big})"
+    );
+
+    // Pull scan: the cursor owns chunk buffers; they may grow once per
+    // cursor, but serving 180x more hits must not allocate per hit.
+    let pull = |high: &[u8]| {
+        let mut hits = 0usize;
+        let allocs = allocs_during(|| {
+            let mut cur = store.cursor(low, high, 20_000).unwrap();
+            while cur.next_hit().is_some() {
+                hits += 1;
+            }
+        });
+        (hits, allocs)
+    };
+    let (h_small, p_small) = pull(small_high);
+    let (h_big, p_big) = pull(big_high);
+    assert_eq!((h_small, h_big), (101, 18_001));
+    assert!(p_small <= 64, "pull scan of {h_small} hits allocated {p_small} times");
+    assert!(p_big <= 64, "pull scan of {h_big} hits allocated {p_big} times");
+    assert!(
+        p_big <= p_small + 48,
+        "pull-scan allocations scaled with hits ({h_small}: {p_small}, {h_big}: {p_big})"
+    );
+}

@@ -5,6 +5,10 @@
 //! encode→decode round-trip (`FastDecoder::decode_batch`) against the
 //! live generation, so losslessness is checked mid-swap too.
 //!
+//! Range queries run through the v1 [`hope_store::RangeCursor`] (pull and
+//! push forms); dedicated tests cover the cursor's edge cases and its
+//! behaviour when a dictionary hot-swap lands mid-iteration.
+//!
 //! Sizes scale up in `--release` (CI runs this suite in both profiles;
 //! the release run is the stress configuration).
 
@@ -21,6 +25,22 @@ fn email_pairs(n: u64) -> Vec<(Vec<u8>, u64)> {
     (0..n).map(|i| (format!("com.gmail@user{i:06}").into_bytes(), i)).collect()
 }
 
+/// Collect a bounded range through the cursor, asserting pull and push
+/// agree — every scan in this suite doubles as a cursor-equivalence check.
+fn range(store: &HopeStore<u64>, low: &[u8], high: &[u8], limit: usize) -> Vec<(Vec<u8>, u64)> {
+    let mut pushed = Vec::new();
+    let n = store.range_into(low, high, limit, &mut pushed).expect("valid bounds");
+    assert_eq!(n, pushed.len());
+    let mut cur = store.cursor(low, high, limit).expect("valid bounds");
+    let mut pulled = Vec::new();
+    while let Some((k, v)) = cur.next_hit() {
+        pulled.push((k.to_vec(), *v));
+    }
+    assert!(cur.error().is_none(), "{:?}", cur.error());
+    assert_eq!(pulled, pushed, "pull and push cursors disagree");
+    pushed
+}
+
 /// Deterministic end-to-end: load, drift, swap, and compare the full
 /// contents and a spread of ranges against the shadow map.
 #[test]
@@ -33,7 +53,7 @@ fn swap_preserves_gets_and_ranges_exactly() {
     // Drift: traffic the build sample never saw.
     for i in 0..1_500u64 {
         let k = format!("ru.yandex/{i:x}/box{i:05}").into_bytes();
-        assert_eq!(store.insert(k.clone(), i), shadow.insert(k, i));
+        assert_eq!(store.insert(k.clone(), i).unwrap(), shadow.insert(k, i));
     }
     let (swaps, errors) = store.maintain();
     assert!(errors.is_empty(), "{errors:?}");
@@ -42,7 +62,7 @@ fn swap_preserves_gets_and_ranges_exactly() {
 
     // Every key, point-queried.
     for (k, v) in &shadow {
-        assert_eq!(store.get(k), Some(*v));
+        assert_eq!(store.get(k).unwrap(), Some(*v));
     }
     // Ranges spanning shard boundaries and both populations.
     let probes: Vec<&[u8]> =
@@ -50,7 +70,7 @@ fn swap_preserves_gets_and_ranges_exactly() {
     for low in &probes {
         for high in &probes {
             for limit in [1usize, 7, 100, usize::MAX] {
-                let got = store.range(low, high, limit);
+                let got = range(&store, low, high, limit);
                 let want: Vec<(Vec<u8>, u64)> = if low > high {
                     Vec::new() // BTreeMap::range panics on inverted bounds
                 } else {
@@ -63,6 +83,81 @@ fn swap_preserves_gets_and_ranges_exactly() {
                 assert_eq!(got, want, "range {low:?}..={high:?} limit {limit}");
             }
         }
+    }
+}
+
+/// The satellite edge cases, all through the cursor: empty range,
+/// inverted bounds, equal bounds, limit 0 — plus the deprecated shim
+/// agreeing with the cursor it wraps.
+#[test]
+fn cursor_edge_cases() {
+    let store =
+        HopeStore::build(StoreConfig { shards: 2, ..StoreConfig::default() }, email_pairs(200))
+            .unwrap();
+
+    // Empty range (bounds between keys): no hits, no error.
+    assert!(range(&store, b"com.gmail@user000010x", b"com.gmail@user000010zzz", 10).is_empty());
+    // Inverted bounds: empty cursor, not an error.
+    let mut cur = store.cursor(b"z", b"a", 10).unwrap();
+    assert!(cur.next_hit().is_none());
+    assert!(cur.error().is_none());
+    assert_eq!(store.range_with(b"z", b"a", 10, |_, _| panic!("no hits")).unwrap(), 0);
+    // Bounds equal, key present: exactly that key.
+    let got = range(&store, b"com.gmail@user000007", b"com.gmail@user000007", 10);
+    assert_eq!(got, vec![(b"com.gmail@user000007".to_vec(), 7)]);
+    // Bounds equal, key absent: nothing.
+    assert!(range(&store, b"com.gmail@userX", b"com.gmail@userX", 10).is_empty());
+    // Limit 0: empty cursor with zero remaining.
+    let mut cur = store.cursor(b"", b"\xff", 0).unwrap();
+    assert_eq!(cur.remaining(), 0);
+    assert!(cur.next_hit().is_none());
+    // Limit truncates mid-shard and `remaining` counts down.
+    let mut cur = store.cursor(b"", b"\xff", 5).unwrap();
+    assert_eq!(cur.remaining(), 5);
+    assert!(cur.next_hit().is_some());
+    assert_eq!(cur.remaining(), 4);
+    // The deprecated shim returns what the cursor returns.
+    #[allow(deprecated)]
+    {
+        assert_eq!(
+            store.range(b"com.gmail@user000000", b"com.gmail@user000004", 3),
+            range(&store, b"com.gmail@user000000", b"com.gmail@user000004", 3)
+        );
+    }
+}
+
+/// A cursor held across a concurrent dictionary swap keeps serving a
+/// consistent view: it pins each shard's generation on entry, so hits
+/// stay exact and ordered even though every shard's dictionary was
+/// replaced mid-iteration.
+#[test]
+fn cursor_survives_concurrent_dictionary_swap() {
+    let cfg = StoreConfig { shards: 3, ..StoreConfig::default() };
+    let n = 3_000u64;
+    let store = HopeStore::build(cfg, email_pairs(n)).unwrap();
+
+    let mut cur = store.cursor(b"", b"\xff\xff", usize::MAX).unwrap();
+    let mut seen: Vec<(Vec<u8>, u64)> = Vec::new();
+    // Pull a prefix (deep enough to be mid-shard), then swap every shard.
+    for _ in 0..500 {
+        let (k, v) = cur.next_hit().expect("prefix available");
+        seen.push((k.to_vec(), *v));
+    }
+    let epochs_before = store.epochs();
+    for s in 0..store.config().shards {
+        store.force_rebuild(s).unwrap();
+    }
+    assert!(store.epochs().iter().zip(&epochs_before).all(|(a, b)| a > b));
+    // Drain the rest across the swapped generations.
+    while let Some((k, v)) = cur.next_hit() {
+        seen.push((k.to_vec(), *v));
+    }
+    assert!(cur.error().is_none());
+    assert_eq!(seen.len() as u64, n, "cursor lost or duplicated hits across the swap");
+    assert!(seen.windows(2).all(|w| w[0].0 < w[1].0), "cursor order broke across the swap");
+    for (i, (k, v)) in seen.iter().enumerate() {
+        assert_eq!(k, &format!("com.gmail@user{i:06}").into_bytes());
+        assert_eq!(*v, i as u64);
     }
 }
 
@@ -89,7 +184,7 @@ proptest! {
         let store = HopeStore::build(cfg, load.to_vec()).unwrap();
         let mut model: BTreeMap<Vec<u8>, u64> = load.iter().cloned().collect();
         for (i, (k, v)) in live.iter().enumerate() {
-            prop_assert_eq!(store.insert(k.clone(), *v), model.insert(k.clone(), *v));
+            prop_assert_eq!(store.insert(k.clone(), *v).unwrap(), model.insert(k.clone(), *v));
             if i % 13 == 5 {
                 store.force_rebuild(i % 2).unwrap();
             }
@@ -97,15 +192,15 @@ proptest! {
         store.force_rebuild(0).unwrap();
         prop_assert_eq!(store.len(), model.len());
         for (k, v) in &model {
-            prop_assert_eq!(store.get(k), Some(*v), "lost {:?}", k);
+            prop_assert_eq!(store.get(k).unwrap(), Some(*v), "lost {:?}", k);
         }
         for p in &probes {
-            prop_assert_eq!(store.get(p), model.get(p).copied());
+            prop_assert_eq!(store.get(p).unwrap(), model.get(p).copied());
         }
         for pair in probes.chunks(2) {
             if let [a, b] = pair {
                 let (low, high) = if a <= b { (a, b) } else { (b, a) };
-                let got = store.range(low, high, 16);
+                let got = range(&store, low, high, 16);
                 let want: Vec<(Vec<u8>, u64)> = model
                     .range(low.clone()..=high.clone())
                     .take(16)
@@ -148,35 +243,46 @@ fn hot_swap_under_concurrent_readers() {
                 let mut cached_decoder: Option<(u64, hope::FastDecoder)> = None;
                 while !stop.load(Ordering::Relaxed) {
                     let (k, v) = &frozen[i % frozen.len()];
-                    assert_eq!(store.get(k), Some(*v), "wrong point result for {k:?}");
+                    assert_eq!(store.get(k).unwrap(), Some(*v), "wrong point result for {k:?}");
                     match i % 3 {
                         0 => {
                             // Exact single-key range, via the zero-alloc
                             // visitor scan.
                             let mut ok = false;
-                            let hits = store.range_with(k, k, 2, |rk, rv| {
-                                ok = rk == k.as_slice() && rv == *v;
-                            });
+                            let hits = store
+                                .range_with(k, k, 2, |rk, rv| {
+                                    ok = rk == k.as_slice() && *rv == *v;
+                                })
+                                .unwrap();
                             assert!(hits == 1 && ok, "wrong single-key range for {k:?}");
                         }
                         1 => {
-                            // Open-ended range: the anchor key must lead it
-                            // even while writers add keys above.
+                            // Open-ended range through the pull cursor: the
+                            // anchor key must lead it even while writers add
+                            // keys above.
                             let mut high = k.clone();
                             high.push(0xFF);
-                            let got = store.range(k, &high, 8);
-                            assert_eq!(got.first(), Some(&(k.clone(), *v)));
-                            assert!(got.windows(2).all(|w| w[0].0 < w[1].0), "unsorted range");
-                            assert!(got.iter().all(|(rk, _)| rk >= k && rk <= &high));
+                            let mut cur = store.cursor(k, &high, 8).unwrap();
                             range_keys.clear();
-                            range_keys.extend(got.into_iter().map(|(rk, _)| rk));
+                            let mut first_val = None;
+                            while let Some((rk, rv)) = cur.next_hit() {
+                                if first_val.is_none() {
+                                    first_val = Some(*rv);
+                                }
+                                range_keys.push(rk.to_vec());
+                            }
+                            assert!(cur.error().is_none());
+                            assert_eq!(range_keys.first(), Some(k), "anchor key missing");
+                            assert_eq!(first_val, Some(*v));
+                            assert!(range_keys.windows(2).all(|w| w[0] < w[1]), "unsorted range");
+                            assert!(range_keys.iter().all(|rk| rk >= k && rk <= &high));
                             if i % 63 == 1 {
                                 // Encode→decode round-trip of the scan's
                                 // hits against whichever generation is
                                 // serving this shard right now — the
                                 // encoding must stay lossless before,
                                 // during, and after every hot-swap.
-                                let generation = store.generation(store.shard_of(k));
+                                let generation = store.generation(store.shard_of(k)).unwrap();
                                 let encoded: Vec<EncodedKey> = range_keys
                                     .iter()
                                     .map(|rk| generation.hope().encode(rk))
@@ -215,13 +321,13 @@ fn hot_swap_under_concurrent_readers() {
     for (i, op) in workload.ops.iter().enumerate() {
         match op {
             StoreOp::Get(k) => {
-                assert_eq!(store.get(k), shadow.get(k).copied());
+                assert_eq!(store.get(k).unwrap(), shadow.get(k).copied());
             }
             StoreOp::Insert(k, v) => {
-                assert_eq!(store.insert(k.clone(), *v), shadow.insert(k.clone(), *v));
+                assert_eq!(store.insert(k.clone(), *v).unwrap(), shadow.insert(k.clone(), *v));
             }
             StoreOp::Scan(low, high, limit) => {
-                let got = store.range(low, high, *limit);
+                let got = range(&store, low, high, *limit);
                 let want: Vec<(Vec<u8>, u64)> = shadow
                     .range(low.clone()..=high.clone())
                     .take(*limit)
@@ -253,6 +359,6 @@ fn hot_swap_under_concurrent_readers() {
     // Full post-swap verification.
     assert_eq!(store.len(), shadow.len());
     for (k, v) in &shadow {
-        assert_eq!(store.get(k), Some(*v));
+        assert_eq!(store.get(k).unwrap(), Some(*v));
     }
 }

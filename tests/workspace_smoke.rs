@@ -126,17 +126,18 @@ fn store_serving_path() {
         email_a.iter().take(1_500).enumerate().map(|(i, k)| (k.clone(), i as u64)).collect();
     let cfg = StoreConfig { min_observed_bytes: 2048, ..StoreConfig::default() };
     let store = HopeStore::build(cfg, load.clone()).expect("store build");
-    assert_eq!(store.get(&load[7].0), Some(7));
+    assert_eq!(store.get(&load[7].0).expect("valid key"), Some(7));
 
     for (i, k) in email_b.iter().take(1_500).enumerate() {
-        store.insert(k.clone(), i as u64);
+        store.insert(k.clone(), i as u64).expect("valid key");
     }
     let (swaps, errors) = store.maintain();
     assert!(errors.is_empty(), "{errors:?}");
     assert!(!swaps.is_empty(), "drift should trigger a swap");
-    assert_eq!(store.get(&load[7].0), Some(7));
+    assert_eq!(store.get(&load[7].0).expect("valid key"), Some(7));
     assert_eq!(store.len(), 3_000);
-    let all = store.range(b"", b"\xff\xff\xff", usize::MAX);
+    let mut all = Vec::new();
+    store.range_into(b"", b"\xff\xff\xff", usize::MAX, &mut all).expect("valid bounds");
     assert_eq!(all.len(), 3_000);
     assert!(all.windows(2).all(|w| w[0].0 < w[1].0));
 }
