@@ -14,6 +14,7 @@
 //! | `fig15_distribution_shift` | Fig 15 / Appendix C (key distribution change) |
 //! | `fig16_tree_range_insert` | Fig 16 / Appendix D (range + insert, 4 trees) |
 //! | `fig17_store_shift` | Extension: `hope_store` dictionary hot-swap under shift |
+//! | `fig18_serving_slo` | Extension: thread-per-core serving harness SLOs → `BENCH_serving.json` |
 //!
 //! Every binary accepts `--keys N`, `--queries N`, `--seed N` and
 //! `--quick`; run with `cargo run --release -p hope_bench --bin <name>`.

@@ -33,11 +33,11 @@
 
 use std::sync::Arc;
 
-use hope::{EncodeScratch, Value};
+use hope::Value;
 
 use crate::error::StoreError;
 use crate::generation::Generation;
-use crate::{HopeStore, SlotId};
+use crate::HopeStore;
 
 /// Hits fetched per pull-mode chunk: large enough to amortize the
 /// per-chunk bound re-encode and index descent, small enough to keep
@@ -63,12 +63,16 @@ pub struct RangeCursor<'a, V: Value = u64> {
     /// Resume point within the current shard: the last key already
     /// emitted (hits continue strictly after it).
     after: Option<Vec<u8>>,
-    /// Pull-mode chunk buffers: keys back-to-back + end offsets + values.
-    enc: EncodeScratch,
-    slot_ids: Vec<SlotId>,
+    /// Pull-mode chunk buffers: keys back-to-back + `(start, end)` spans
+    /// into them + values. Spans (not end offsets) so serving hit `i`
+    /// needs no branch on `i == 0` and no second offset load.
     keys_flat: Vec<u8>,
-    key_ends: Vec<u32>,
+    key_spans: Vec<(u32, u32)>,
     vals: Vec<V>,
+    /// Epoch of the generation the current chunk was fetched from. Kept
+    /// separately from `generation` (which is cleared the moment a shard
+    /// is exhausted, possibly with hits still buffered).
+    chunk_epoch: Option<u64>,
     /// Next buffered hit to serve.
     pos: usize,
     done: bool,
@@ -93,11 +97,10 @@ impl<'a, V: Value> RangeCursor<'a, V> {
             shard_end,
             generation: None,
             after: None,
-            enc: EncodeScratch::new(),
-            slot_ids: Vec::new(),
             keys_flat: Vec::new(),
-            key_ends: Vec::new(),
+            key_spans: Vec::new(),
             vals: Vec::new(),
+            chunk_epoch: None,
             pos: 0,
             done: empty,
             error: None,
@@ -133,20 +136,46 @@ impl<'a, V: Value> RangeCursor<'a, V> {
         Some(self.buffered_hit(i))
     }
 
+    /// Epoch of the generation that served the most recent
+    /// [`RangeCursor::next_hit`] (`None` before the first hit). Buffered
+    /// hits report the epoch pinned when their chunk was fetched, so a
+    /// consumer can assert that every shard's hits decode under exactly
+    /// one dictionary — the serving harness's torn-swap check.
+    pub fn hit_epoch(&self) -> Option<u64> {
+        self.chunk_epoch
+    }
+
     /// The `i`-th hit in the chunk buffers — the one slicing rule both
     /// consumption paths share.
     fn buffered_hit(&self, i: usize) -> (&[u8], &V) {
-        let start = if i == 0 { 0 } else { self.key_ends[i - 1] as usize };
-        (&self.keys_flat[start..self.key_ends[i] as usize], &self.vals[i])
+        let (start, end) = self.key_spans[i];
+        (&self.keys_flat[start as usize..end as usize], &self.vals[i])
     }
 
     /// Refill the chunk buffers from the current shard (entering the next
     /// shard as needed). Returns false when the scan is over.
+    ///
+    /// Runs on the probe thread-locals via
+    /// [`Generation::range_with_from`], exactly like the push path — the
+    /// cursor owns no encode scratch of its own, so opening a cursor per
+    /// query costs no scratch allocations (the pre-optimization pull path
+    /// paid several per scan; `BENCH_decode.json` has the before/after).
     fn fetch_chunk(&mut self) -> bool {
         self.keys_flat.clear();
-        self.key_ends.clear();
+        self.key_spans.clear();
         self.vals.clear();
         self.pos = 0;
+        if self.key_spans.capacity() == 0 && !self.done {
+            // First fetch of this cursor: size the buffers once, instead
+            // of letting each grow through its doubling steps (a fresh
+            // cursor per query is the common shape — a dozen-plus
+            // reallocations per scan showed up directly in the pull-mode
+            // ns/hit the perf_baseline gate tracks).
+            let cap = CHUNK.min(self.remaining);
+            self.key_spans.reserve(cap);
+            self.vals.reserve(cap);
+            self.keys_flat.reserve(cap * 32);
+        }
         loop {
             if self.done || self.remaining == 0 {
                 self.done = true;
@@ -167,11 +196,13 @@ impl<'a, V: Value> RangeCursor<'a, V> {
                 }
             };
             let chunk = CHUNK.min(self.remaining);
+            self.chunk_epoch = Some(generation.epoch());
             let visited = {
-                let Self { low, high, after, enc, slot_ids, keys_flat, key_ends, vals, .. } = self;
-                generation.range_visit(after.as_deref(), low, high, chunk, enc, slot_ids, |k, v| {
+                let Self { low, high, after, keys_flat, key_spans, vals, .. } = self;
+                generation.range_with_from(after.as_deref(), low, high, chunk, |k, v| {
+                    let start = keys_flat.len() as u32;
                     keys_flat.extend_from_slice(k);
-                    key_ends.push(keys_flat.len() as u32);
+                    key_spans.push((start, keys_flat.len() as u32));
                     vals.push(v.clone());
                 })
             };
@@ -188,16 +219,15 @@ impl<'a, V: Value> RangeCursor<'a, V> {
                 // Fewer hits than asked: this shard is exhausted.
                 self.generation = None;
                 self.shard += 1;
-            } else {
-                // Full chunk: remember the resume point (last emitted key),
-                // reusing the buffer across chunks.
-                let last_start = if self.key_ends.len() == 1 {
-                    0
-                } else {
-                    self.key_ends[self.key_ends.len() - 2] as usize
-                };
-                let last = &self.keys_flat[last_start..];
-                let after = self.after.get_or_insert_with(Vec::new);
+            } else if self.remaining > 0 {
+                // Full chunk with budget left: remember the resume point
+                // (last emitted key), reusing the buffer across chunks.
+                // A full chunk that *spent* the budget skips this — the
+                // scan is over and the copy would be dead work.
+                let (last_start, _) = self.key_spans[self.key_spans.len() - 1];
+                let Self { after, keys_flat, .. } = self;
+                let last = &keys_flat[last_start as usize..];
+                let after = after.get_or_insert_with(Vec::new);
                 after.clear();
                 after.extend_from_slice(last);
             }

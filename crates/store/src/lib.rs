@@ -64,6 +64,7 @@
 pub mod cursor;
 mod error;
 mod generation;
+pub mod serving;
 mod shard;
 
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -647,6 +648,7 @@ impl Drop for Maintainer {
 
 /// One-stop import for the store's v1 public API.
 pub mod prelude {
+    pub use crate::serving::{Request, Response, Server, ServingConfig, ServingReport, Ticket};
     pub use crate::{
         Backend, HopeStore, IndexFactory, Maintainer, MaintenanceLog, RangeCursor, ShardReport,
         SlotId, StoreConfig, StoreError, SwapReport,

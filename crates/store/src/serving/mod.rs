@@ -1,0 +1,536 @@
+//! # The serving harness: thread-per-core request pipelines with SLOs
+//!
+//! [`HopeStore`] is `Sync` — any thread may call it — but a store that
+//! serves millions of users is not driven by "any thread": it is driven
+//! by a fixed pool of core-pinned workers fed by bounded queues, because
+//! that is the shape that makes tail latency *governable*. This module is
+//! that shape, as a library:
+//!
+//! * **Thread-per-core workers with shard affinity** — [`Server::start`]
+//!   spawns `workers` threads; every request is routed by its key's
+//!   shard ([`HopeStore::shard_of`], i.e. by encoded-prefix range) to the
+//!   worker owning that shard (`shard % workers`). Point writes for one
+//!   shard therefore always execute on the same worker, so the shard's
+//!   writer mutex is never contended and its cache lines stay put; scans
+//!   route by their low bound and may read across shards (reads never
+//!   block, so cross-worker reads are safe by construction).
+//! * **Bounded queues with admission control** — each worker owns one
+//!   [`queue::BoundedQueue`] of `queue_capacity` requests.
+//!   [`Server::try_submit`] *refuses* work beyond that budget and hands
+//!   the request back ([`Rejected`]) instead of queueing unboundedly:
+//!   under overload the system sheds load at the front door with a
+//!   bounded worst-case queue wait, rather than melting down with
+//!   seconds-deep queues. [`Server::submit`] is the backpressure
+//!   variant: it waits for space, admitting everything (what a
+//!   deterministic benchmark driver wants).
+//! * **Batched execution** — workers drain up to `batch` requests per
+//!   queue lock round, amortizing synchronization; gets/inserts run on
+//!   the store's zero-alloc probe paths and scans pull through a
+//!   [`RangeCursor`](crate::RangeCursor), recording the epoch of every
+//!   generation they touch (the hot-swap torn-read check rides on this).
+//! * **Tail-latency accounting** — per phase (the driver tags each
+//!   request with a phase id), workers record latency into a
+//!   [`metrics::LatencyHistogram`]: wall-clock enqueue→completion by
+//!   default, or **virtual time** ([`ServingConfig::virtual_time`]) where
+//!   each request costs a deterministic amount derived from the request
+//!   alone ([`virtual_cost`]) — two runs over the same op sequence then
+//!   produce byte-identical histograms, which is what lets CI gate on
+//!   p99/p999 (`fig18_serving_slo --quick`).
+//!
+//! ```
+//! use std::sync::Arc;
+//! use hope_store::prelude::*;
+//! use hope_store::serving::{Request, Response, Server, ServingConfig};
+//!
+//! let pairs = (0..500u64).map(|i| (format!("com.gmail@u{i:04}").into_bytes(), i));
+//! let store = Arc::new(HopeStore::build(StoreConfig::default(), pairs)?);
+//! let server = Server::start(Arc::clone(&store), ServingConfig::default())?;
+//!
+//! let t = server.submit(Request::get(b"com.gmail@u0007".to_vec()), 0).unwrap();
+//! assert!(matches!(t.wait(), Response::Get(Some(7))));
+//! let t = server.submit(Request::scan(b"com.gmail@u0100".to_vec(),
+//!                                     b"com.gmail@u0102".to_vec(), 10), 0).unwrap();
+//! match t.wait() {
+//!     Response::Scan(s) => assert_eq!(s.hits, 3),
+//!     other => panic!("{other:?}"),
+//! }
+//! let report = server.shutdown();
+//! assert_eq!(report.phases[0].ops, 2);
+//! # Ok::<(), StoreError>(())
+//! ```
+
+pub mod metrics;
+pub mod queue;
+mod worker;
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, PoisonError};
+use std::time::Instant;
+
+use hope::Value;
+
+use crate::error::StoreError;
+use crate::HopeStore;
+
+pub use metrics::LatencyHistogram;
+pub use queue::{QueueStats, RejectReason};
+
+use queue::BoundedQueue;
+
+/// Serving-pipeline parameters ([`Server::start`]).
+#[derive(Debug, Clone, Copy)]
+pub struct ServingConfig {
+    /// Worker threads; shards are owned `shard % workers` (≥ 1).
+    pub workers: usize,
+    /// Per-worker queue budget: requests admitted beyond it are refused
+    /// by [`Server::try_submit`] (≥ 1).
+    pub queue_capacity: usize,
+    /// Max requests a worker drains per queue lock round (≥ 1).
+    pub batch: usize,
+    /// Latency phases tracked (the driver tags requests; `1..=16`).
+    pub phases: usize,
+    /// Deterministic virtual-time latency accounting (see [`virtual_cost`])
+    /// instead of wall-clock enqueue→completion.
+    pub virtual_time: bool,
+}
+
+impl Default for ServingConfig {
+    fn default() -> Self {
+        ServingConfig {
+            workers: 4,
+            queue_capacity: 1024,
+            batch: 64,
+            phases: 1,
+            virtual_time: false,
+        }
+    }
+}
+
+/// One serving request. Keys are owned (they cross a thread boundary).
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum Request<V: Value = u64> {
+    /// Point lookup.
+    Get {
+        /// Source key to look up.
+        key: Vec<u8>,
+    },
+    /// Insert or update.
+    Insert {
+        /// Source key to write.
+        key: Vec<u8>,
+        /// Value to store.
+        value: V,
+    },
+    /// Bounded inclusive range scan, executed through a pull cursor.
+    Scan {
+        /// Inclusive low bound.
+        low: Vec<u8>,
+        /// Inclusive high bound.
+        high: Vec<u8>,
+        /// Max hits returned.
+        limit: usize,
+    },
+}
+
+impl<V: Value> Request<V> {
+    /// Point-lookup request.
+    pub fn get(key: Vec<u8>) -> Self {
+        Request::Get { key }
+    }
+
+    /// Insert/update request.
+    pub fn insert(key: Vec<u8>, value: V) -> Self {
+        Request::Insert { key, value }
+    }
+
+    /// Range-scan request.
+    pub fn scan(low: Vec<u8>, high: Vec<u8>, limit: usize) -> Self {
+        Request::Scan { low, high, limit }
+    }
+
+    /// The key this request routes on (scans route by their low bound).
+    pub fn routing_key(&self) -> &[u8] {
+        match self {
+            Request::Get { key } | Request::Insert { key, .. } => key,
+            Request::Scan { low, .. } => low,
+        }
+    }
+}
+
+/// What a scan executed by a worker observed (hit payloads are consumed
+/// by the worker; the driver-side summary is what SLO checks need).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ScanSummary {
+    /// Hits emitted (≤ the request's limit).
+    pub hits: usize,
+    /// Source-key bytes across all hits.
+    pub key_bytes: u64,
+    /// Epochs of the generations that served hits, in shard order,
+    /// consecutive duplicates collapsed. A scan that reads S shards must
+    /// observe at most S epochs — one per shard — or a hot-swap tore it
+    /// (the `store_swap` harness test asserts exactly this).
+    pub epochs: Vec<u64>,
+}
+
+/// A completed request's result.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum Response<V: Value = u64> {
+    /// Result of a [`Request::Get`].
+    Get(Option<V>),
+    /// Previous value replaced by a [`Request::Insert`].
+    Insert(Option<V>),
+    /// Summary of a [`Request::Scan`].
+    Scan(ScanSummary),
+    /// The store refused the operation (codec validation and the like).
+    Error(StoreError),
+}
+
+/// A request refused at admission; the request comes back to the caller.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Rejected<V: Value = u64> {
+    /// The refused request, returned intact for retry or shedding.
+    pub request: Request<V>,
+    /// Why it was refused.
+    pub reason: RejectReason,
+}
+
+/// Completion handle for one admitted request. Every admitted request is
+/// completed exactly once — including requests still queued at
+/// [`Server::shutdown`], which are drained, not dropped.
+#[derive(Debug)]
+pub struct Ticket<V: Value = u64>(Arc<TicketState<V>>);
+
+#[derive(Debug)]
+pub(crate) struct TicketState<V: Value> {
+    slot: Mutex<Option<Response<V>>>,
+    done: Condvar,
+}
+
+impl<V: Value> TicketState<V> {
+    fn new() -> Arc<Self> {
+        Arc::new(TicketState { slot: Mutex::new(None), done: Condvar::new() })
+    }
+
+    pub(crate) fn complete(&self, resp: Response<V>) {
+        let mut slot = self.slot.lock().unwrap_or_else(PoisonError::into_inner);
+        debug_assert!(slot.is_none(), "a request completed twice");
+        *slot = Some(resp);
+        self.done.notify_all();
+    }
+}
+
+impl<V: Value> Ticket<V> {
+    /// Block until the request completes and take its response.
+    pub fn wait(self) -> Response<V> {
+        let mut slot = self.0.slot.lock().unwrap_or_else(PoisonError::into_inner);
+        loop {
+            if let Some(resp) = slot.take() {
+                return resp;
+            }
+            slot = self.0.done.wait(slot).unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+
+    /// True once the request has completed (non-blocking).
+    pub fn is_done(&self) -> bool {
+        self.0.slot.lock().unwrap_or_else(PoisonError::into_inner).is_some()
+    }
+}
+
+/// One queued request with its accounting envelope.
+#[derive(Debug)]
+pub(crate) struct Envelope<V: Value> {
+    pub req: Request<V>,
+    pub phase: u8,
+    /// Wall-mode latency starts at admission.
+    pub enqueued_at: Option<Instant>,
+    pub ticket: Option<Arc<TicketState<V>>>,
+}
+
+/// Deterministic virtual service cost of a request, in nanoseconds.
+///
+/// A pure function of the request itself (key lengths and the scan
+/// limit — deliberately *not* the scan's actual hit count, which could
+/// differ across interleavings): over a fixed op sequence, every run
+/// records byte-identical latency histograms regardless of scheduling.
+/// The constants are scaled to the repo's measured microbench costs
+/// (`BENCH_decode.json`: ~219 ns per pulled hit, sub-µs probes).
+pub fn virtual_cost<V: Value>(req: &Request<V>) -> u64 {
+    match req {
+        Request::Get { key } => 150 + 2 * key.len() as u64,
+        Request::Insert { key, .. } => 250 + 3 * key.len() as u64,
+        Request::Scan { low, high, limit } => {
+            400 + 2 * (low.len() + high.len()) as u64 + 220 * (*limit).min(256) as u64
+        }
+    }
+}
+
+/// State shared between the submitters and the worker threads.
+#[derive(Debug)]
+pub(crate) struct Shared<V: Value> {
+    pub store: Arc<HopeStore<V>>,
+    pub queues: Vec<BoundedQueue<Envelope<V>>>,
+    pub cfg: ServingConfig,
+    /// Requests admitted (incremented before the push so `completed`
+    /// can never observably exceed it).
+    admitted: AtomicU64,
+    /// Requests fully executed and completed.
+    completed: AtomicU64,
+    flush_lock: Mutex<()>,
+    flush_cv: Condvar,
+}
+
+impl<V: Value> Shared<V> {
+    pub(crate) fn note_completed(&self, n: u64) {
+        self.completed.fetch_add(n, Ordering::Release);
+        self.flush_cv.notify_all();
+    }
+}
+
+/// Aggregated per-phase serving statistics (see [`Server::shutdown`]).
+#[derive(Debug, Clone)]
+pub struct PhaseStats {
+    /// Requests completed in this phase.
+    pub ops: u64,
+    /// Point lookups.
+    pub gets: u64,
+    /// Inserts/updates.
+    pub inserts: u64,
+    /// Range scans.
+    pub scans: u64,
+    /// Total scan hits emitted.
+    pub scan_hits: u64,
+    /// Requests that completed with [`Response::Error`].
+    pub errors: u64,
+    /// Latency distribution (wall or virtual per the config).
+    pub latency: LatencyHistogram,
+    /// Busiest single worker's service time in this phase (ns) — the
+    /// virtual-throughput denominator: with perfect overlap the phase
+    /// takes exactly this long.
+    pub busy_ns_max: u64,
+    /// Total service time across workers (ns).
+    pub busy_ns_total: u64,
+}
+
+impl PhaseStats {
+    fn empty() -> Self {
+        PhaseStats {
+            ops: 0,
+            gets: 0,
+            inserts: 0,
+            scans: 0,
+            scan_hits: 0,
+            errors: 0,
+            latency: LatencyHistogram::new(),
+            busy_ns_max: 0,
+            busy_ns_total: 0,
+        }
+    }
+
+    /// Ops per second implied by the busiest worker's service time
+    /// (virtual mode) — 0 when nothing ran.
+    pub fn virtual_ops_per_sec(&self) -> f64 {
+        if self.busy_ns_max == 0 {
+            0.0
+        } else {
+            self.ops as f64 * 1e9 / self.busy_ns_max as f64
+        }
+    }
+}
+
+/// Everything the serving run did, returned by [`Server::shutdown`].
+#[derive(Debug, Clone)]
+pub struct ServingReport {
+    /// Per-phase aggregates, indexed by the phase tag requests carried.
+    pub phases: Vec<PhaseStats>,
+    /// Per-worker queue counters, in worker order.
+    pub queues: Vec<QueueStats>,
+    /// Worker threads the server ran.
+    pub workers: usize,
+    /// Whether latencies are virtual (deterministic) or wall-clock.
+    pub virtual_time: bool,
+}
+
+impl ServingReport {
+    /// Total requests completed across phases.
+    pub fn total_ops(&self) -> u64 {
+        self.phases.iter().map(|p| p.ops).sum()
+    }
+
+    /// Total requests refused at admission across queues.
+    pub fn total_rejected(&self) -> u64 {
+        self.queues.iter().map(|q| q.rejected).sum()
+    }
+}
+
+/// The serving pipeline over an `Arc<HopeStore<V>>` (see module docs).
+#[derive(Debug)]
+pub struct Server<V: Value = u64> {
+    shared: Arc<Shared<V>>,
+    handles: Vec<std::thread::JoinHandle<worker::WorkerOutput>>,
+}
+
+impl<V: Value> Server<V> {
+    /// Spawn the worker threads and open the queues.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::InvalidConfig`] for zero workers/capacity/batch or a
+    /// phase count outside `1..=16`.
+    pub fn start(store: Arc<HopeStore<V>>, cfg: ServingConfig) -> Result<Server<V>, StoreError> {
+        if cfg.workers == 0 {
+            return Err(StoreError::InvalidConfig { reason: "need at least one serving worker" });
+        }
+        if cfg.queue_capacity == 0 {
+            return Err(StoreError::InvalidConfig { reason: "queue capacity must be at least 1" });
+        }
+        if cfg.batch == 0 {
+            return Err(StoreError::InvalidConfig { reason: "batch must be at least 1" });
+        }
+        if !(1..=16).contains(&cfg.phases) {
+            return Err(StoreError::InvalidConfig { reason: "phases must be in 1..=16" });
+        }
+        let queues = (0..cfg.workers).map(|_| BoundedQueue::new(cfg.queue_capacity)).collect();
+        let shared = Arc::new(Shared {
+            store,
+            queues,
+            cfg,
+            admitted: AtomicU64::new(0),
+            completed: AtomicU64::new(0),
+            flush_lock: Mutex::new(()),
+            flush_cv: Condvar::new(),
+        });
+        let handles = (0..cfg.workers)
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("hope-serve-{i}"))
+                    .spawn(move || worker::run(i, shared))
+                    .expect("spawn serving worker")
+            })
+            .collect();
+        Ok(Server { shared, handles })
+    }
+
+    /// The worker owning `key`'s shard — the routing hook the module docs
+    /// describe (`shard % workers`).
+    pub fn worker_of(&self, key: &[u8]) -> usize {
+        self.shared.store.shard_of(key) % self.shared.cfg.workers
+    }
+
+    fn envelope(&self, req: Request<V>, phase: usize, ticket: bool) -> Envelope<V> {
+        Envelope {
+            req,
+            phase: phase.min(self.shared.cfg.phases - 1) as u8,
+            enqueued_at: (!self.shared.cfg.virtual_time).then(Instant::now),
+            ticket: ticket.then(|| TicketState::new()),
+        }
+    }
+
+    fn push(&self, env: Envelope<V>, blocking: bool) -> Result<Option<Ticket<V>>, Rejected<V>> {
+        let worker = self.shared.store.shard_of(env.req.routing_key()) % self.shared.cfg.workers;
+        let ticket = env.ticket.as_ref().map(|t| Ticket(Arc::clone(t)));
+        self.shared.admitted.fetch_add(1, Ordering::Relaxed);
+        let queue = &self.shared.queues[worker];
+        let pushed = if blocking { queue.push_blocking(env) } else { queue.try_push(env) };
+        match pushed {
+            Ok(()) => Ok(ticket),
+            Err((env, reason)) => {
+                self.shared.admitted.fetch_sub(1, Ordering::Relaxed);
+                Err(Rejected { request: env.req, reason })
+            }
+        }
+    }
+
+    /// Admission-controlled submit: refuse (returning the request) when
+    /// the target worker's queue is at budget, otherwise hand back a
+    /// completion [`Ticket`]. `phase` tags the latency sample
+    /// (clamped to the configured phase count).
+    pub fn try_submit(&self, req: Request<V>, phase: usize) -> Result<Ticket<V>, Rejected<V>> {
+        self.push(self.envelope(req, phase, true), false).map(|t| t.expect("ticketed"))
+    }
+
+    /// [`Server::try_submit`] without a completion ticket — the
+    /// fire-and-forget shape for throughput drivers that read results
+    /// from the [`ServingReport`] instead.
+    pub fn try_submit_detached(&self, req: Request<V>, phase: usize) -> Result<(), Rejected<V>> {
+        self.push(self.envelope(req, phase, false), false).map(|_| ())
+    }
+
+    /// Backpressure submit: wait for queue space instead of shedding
+    /// (fails only when the server is shutting down).
+    pub fn submit(&self, req: Request<V>, phase: usize) -> Result<Ticket<V>, Rejected<V>> {
+        self.push(self.envelope(req, phase, true), true).map(|t| t.expect("ticketed"))
+    }
+
+    /// [`Server::submit`] without a completion ticket.
+    pub fn submit_detached(&self, req: Request<V>, phase: usize) -> Result<(), Rejected<V>> {
+        self.push(self.envelope(req, phase, false), true).map(|_| ())
+    }
+
+    /// Block until every admitted request has completed. Callers must
+    /// have joined their own submitter threads first: the barrier covers
+    /// requests admitted *before* this call.
+    pub fn flush(&self) {
+        let mut guard = self.shared.flush_lock.lock().unwrap_or_else(PoisonError::into_inner);
+        while self.shared.completed.load(Ordering::Acquire)
+            < self.shared.admitted.load(Ordering::Relaxed)
+        {
+            let (g, _) = self
+                .shared
+                .flush_cv
+                .wait_timeout(guard, std::time::Duration::from_millis(5))
+                .unwrap_or_else(PoisonError::into_inner);
+            guard = g;
+        }
+    }
+
+    /// Current backlog of every worker queue (diagnostics; racy).
+    pub fn queue_depths(&self) -> Vec<usize> {
+        self.shared.queues.iter().map(|q| q.depth()).collect()
+    }
+
+    /// Close admission, drain every queue (admitted requests complete —
+    /// never dropped), join the workers, and return the merged report.
+    pub fn shutdown(mut self) -> ServingReport {
+        for q in &self.shared.queues {
+            q.close();
+        }
+        let cfg = self.shared.cfg;
+        let mut phases = vec![PhaseStats::empty(); cfg.phases];
+        for h in self.handles.drain(..) {
+            let out = h.join().expect("serving worker panicked");
+            for (agg, w) in phases.iter_mut().zip(out.phases) {
+                agg.ops += w.ops;
+                agg.gets += w.gets;
+                agg.inserts += w.inserts;
+                agg.scans += w.scans;
+                agg.scan_hits += w.scan_hits;
+                agg.errors += w.errors;
+                agg.latency.merge(&w.latency);
+                agg.busy_ns_max = agg.busy_ns_max.max(w.busy_ns);
+                agg.busy_ns_total += w.busy_ns;
+            }
+        }
+        ServingReport {
+            phases,
+            queues: self.shared.queues.iter().map(|q| q.stats()).collect(),
+            workers: cfg.workers,
+            virtual_time: cfg.virtual_time,
+        }
+    }
+}
+
+impl<V: Value> Drop for Server<V> {
+    /// A dropped (not shut down) server still closes and joins cleanly.
+    fn drop(&mut self) {
+        for q in &self.shared.queues {
+            q.close();
+        }
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}

@@ -1,0 +1,138 @@
+//! The serving worker loop: drain one queue in batches, execute against
+//! the store, account latency per phase, complete tickets.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use hope::Value;
+
+use super::metrics::LatencyHistogram;
+use super::{virtual_cost, Envelope, Request, Response, ScanSummary, Shared};
+
+/// Per-phase accumulator one worker keeps (merged at shutdown).
+#[derive(Debug)]
+pub(crate) struct PhaseAccum {
+    pub ops: u64,
+    pub gets: u64,
+    pub inserts: u64,
+    pub scans: u64,
+    pub scan_hits: u64,
+    pub errors: u64,
+    pub latency: LatencyHistogram,
+    pub busy_ns: u64,
+}
+
+impl PhaseAccum {
+    fn new() -> Self {
+        PhaseAccum {
+            ops: 0,
+            gets: 0,
+            inserts: 0,
+            scans: 0,
+            scan_hits: 0,
+            errors: 0,
+            latency: LatencyHistogram::new(),
+            busy_ns: 0,
+        }
+    }
+}
+
+/// What one worker hands back when it exits.
+#[derive(Debug)]
+pub(crate) struct WorkerOutput {
+    pub phases: Vec<PhaseAccum>,
+}
+
+/// Execute one request against the store.
+fn execute<V: Value>(shared: &Shared<V>, req: Request<V>) -> Response<V> {
+    match req {
+        Request::Get { key } => match shared.store.get(&key) {
+            Ok(v) => Response::Get(v),
+            Err(e) => Response::Error(e),
+        },
+        Request::Insert { key, value } => match shared.store.insert(key, value) {
+            Ok(prev) => Response::Insert(prev),
+            Err(e) => Response::Error(e),
+        },
+        Request::Scan { low, high, limit } => {
+            let mut cur = match shared.store.cursor(&low, &high, limit) {
+                Ok(c) => c,
+                Err(e) => return Response::Error(e),
+            };
+            let mut summary = ScanSummary::default();
+            while let Some((k, _v)) = cur.next_hit() {
+                summary.hits += 1;
+                summary.key_bytes += k.len() as u64;
+                if let Some(e) = cur.hit_epoch() {
+                    if summary.epochs.last() != Some(&e) {
+                        summary.epochs.push(e);
+                    }
+                }
+            }
+            match cur.error() {
+                Some(e) => Response::Error(e.clone()),
+                None => Response::Scan(summary),
+            }
+        }
+    }
+}
+
+/// The worker thread body: worker `i` owns `shared.queues[i]`.
+pub(crate) fn run<V: Value>(i: usize, shared: Arc<Shared<V>>) -> WorkerOutput {
+    let cfg = shared.cfg;
+    let mut phases: Vec<PhaseAccum> = (0..cfg.phases).map(|_| PhaseAccum::new()).collect();
+    let mut batch: Vec<Envelope<V>> = Vec::with_capacity(cfg.batch);
+    // `pop_batch` returns false only when the queue is closed *and*
+    // drained, so every admitted request is executed — never dropped.
+    while shared.queues[i].pop_batch(&mut batch, cfg.batch) {
+        let n = batch.len() as u64;
+        for env in batch.drain(..) {
+            let acc = &mut phases[env.phase as usize];
+            // Virtual mode: a request's cost is a pure function of the
+            // request (virtual_cost) — deterministic across runs. Wall
+            // mode: enqueue→completion, the latency a client would see.
+            let (latency_ns, service_ns) = if cfg.virtual_time {
+                let cost = virtual_cost(&env.req);
+                let resp = execute(&shared, env.req);
+                finish(env.ticket, resp, acc);
+                (cost, cost)
+            } else {
+                let started = Instant::now();
+                let resp = execute(&shared, env.req);
+                finish(env.ticket, resp, acc);
+                let service = started.elapsed().as_nanos() as u64;
+                let total = env.enqueued_at.map_or(service, |t| t.elapsed().as_nanos() as u64);
+                (total, service)
+            };
+            acc.ops += 1;
+            acc.busy_ns += service_ns;
+            acc.latency.record(latency_ns);
+        }
+        shared.note_completed(n);
+    }
+    WorkerOutput { phases }
+}
+
+/// Tally the response kind and complete the ticket (if any).
+fn finish<V: Value>(
+    ticket: Option<Arc<super::TicketState<V>>>,
+    resp: Response<V>,
+    acc: &mut PhaseAccum,
+) {
+    match &resp {
+        Response::Get(_) => acc.gets += 1,
+        Response::Insert(_) => acc.inserts += 1,
+        Response::Scan(s) => {
+            acc.scans += 1;
+            acc.scan_hits += s.hits as u64;
+        }
+        Response::Error(_) => acc.errors += 1,
+        // `Response` is non_exhaustive for downstream crates; in-crate the
+        // match is complete.
+        #[allow(unreachable_patterns)]
+        _ => {}
+    }
+    if let Some(t) = ticket {
+        t.complete(resp);
+    }
+}

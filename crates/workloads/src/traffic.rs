@@ -76,13 +76,19 @@ impl MixedWorkload {
         assert!(num_initial > 0, "need at least one loaded key");
         assert!(spec.read_pct as usize + spec.insert_pct as usize <= 100, "mix exceeds 100%");
         assert!((0.0..=1.0).contains(&spec.shift_after), "shift_after out of range");
-        // Generate both populations up front. Email-A is the ~25% head of
-        // the host distribution, so a 5× budget leaves both pools ample
-        // headroom for the loaded keys plus every possible insert.
-        let budget = (num_initial + num_ops) * 5 + 200;
+        // Generate both populations up front, sized by what the stream
+        // can actually consume: pools only shrink on inserts, and at most
+        // `insert_pct`% of the ops are inserts (each phase draws from one
+        // pool, so each pool needs at most the full insert bound). Email-A
+        // is the ~25% head of the host distribution *and* its distinct-key
+        // space is finite, so sizing by `num_ops` outright would both
+        // over-generate and cap the stream length a seed can request —
+        // millions of ops are fine as long as the insert budget fits.
+        let max_inserts = num_ops * spec.insert_pct as usize / 100 + 1;
+        let budget = (num_initial + 2 * max_inserts) * 5 + 200;
         let (mut pool_a, mut pool_b) = generate_email_split(budget, seed);
-        assert!(pool_a.len() > num_initial + num_ops, "Email-A pool too small");
-        assert!(pool_b.len() > num_ops, "Email-B pool too small");
+        assert!(pool_a.len() > num_initial + max_inserts, "Email-A pool too small");
+        assert!(pool_b.len() > max_inserts, "Email-B pool too small");
         let initial: Vec<Vec<u8>> = pool_a.drain(..num_initial).collect();
 
         let mut present: Vec<Vec<u8>> = initial.clone();
@@ -114,6 +120,28 @@ impl MixedWorkload {
             }
         }
         MixedWorkload { initial, ops, shift_at }
+    }
+
+    /// Partition the op stream across `cores` serving threads,
+    /// round-robin, keeping each op's **global index** so per-core
+    /// consumers can still tell pre-shift from post-shift
+    /// (`index < shift_at`) and any chunking can be checked against the
+    /// undivided stream.
+    ///
+    /// The partition is a pure function of the stream: op `i` goes to
+    /// core `i % cores`, and within a core ops stay in global order. So
+    /// for any `cores ≥ 1`, interleaving the returned streams by global
+    /// index reproduces `self.ops` byte-for-byte — the property the
+    /// `traffic_determinism` suite asserts, and what makes multi-core
+    /// serving benches replayable.
+    pub fn split_across(&self, cores: usize) -> Vec<Vec<(usize, StoreOp)>> {
+        assert!(cores > 0, "need at least one core");
+        let mut streams: Vec<Vec<(usize, StoreOp)>> =
+            (0..cores).map(|_| Vec::with_capacity(self.ops.len() / cores + 1)).collect();
+        for (i, op) in self.ops.iter().enumerate() {
+            streams[i % cores].push((i, op.clone()));
+        }
+        streams
     }
 }
 

@@ -1,0 +1,101 @@
+//! Seed determinism of `hope_workloads::traffic` — the property the
+//! serving benches stand on: the same seed must produce a byte-identical
+//! op sequence on every run, and splitting the stream across serving
+//! cores must never change which ops run or their global order.
+
+use proptest::prelude::*;
+use proptest::test_runner::ProptestConfig;
+
+use hope_workloads::{MixedWorkload, StoreOp, TrafficSpec};
+
+/// Serialize one op into bytes, so "byte-identical" is literal: two
+/// streams agree iff their serializations agree.
+fn op_bytes(op: &StoreOp, out: &mut Vec<u8>) {
+    match op {
+        StoreOp::Get(k) => {
+            out.push(b'G');
+            out.extend_from_slice(&(k.len() as u32).to_le_bytes());
+            out.extend_from_slice(k);
+        }
+        StoreOp::Insert(k, v) => {
+            out.push(b'I');
+            out.extend_from_slice(&(k.len() as u32).to_le_bytes());
+            out.extend_from_slice(k);
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+        StoreOp::Scan(low, high, limit) => {
+            out.push(b'S');
+            out.extend_from_slice(&(low.len() as u32).to_le_bytes());
+            out.extend_from_slice(low);
+            out.extend_from_slice(&(high.len() as u32).to_le_bytes());
+            out.extend_from_slice(high);
+            out.extend_from_slice(&(*limit as u64).to_le_bytes());
+        }
+    }
+}
+
+fn stream_bytes(ops: &[StoreOp]) -> Vec<u8> {
+    let mut out = Vec::new();
+    for op in ops {
+        op_bytes(op, &mut out);
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Same seed ⇒ byte-identical initial load and op sequence; a
+    /// different seed diverges.
+    #[test]
+    fn same_seed_is_byte_identical(
+        seed in any::<u64>(),
+        num_initial in 1usize..400,
+        num_ops in 1usize..2_000,
+        read_pct in 0u8..81,
+        insert_pct in 10u8..21,
+    ) {
+        let spec = TrafficSpec { read_pct, insert_pct, ..TrafficSpec::default() };
+        let a = MixedWorkload::generate(num_initial, num_ops, spec, seed);
+        let b = MixedWorkload::generate(num_initial, num_ops, spec, seed);
+        prop_assert_eq!(&a.initial, &b.initial);
+        prop_assert_eq!(a.shift_at, b.shift_at);
+        prop_assert_eq!(stream_bytes(&a.ops), stream_bytes(&b.ops));
+        let c = MixedWorkload::generate(num_initial, num_ops, spec, seed ^ 0x5555);
+        prop_assert_ne!(stream_bytes(&a.ops), stream_bytes(&c.ops));
+    }
+
+    /// Chunking across cores is a pure partition: for any core count,
+    /// every op appears exactly once, cores see disjoint global indices
+    /// in increasing order, and re-interleaving by global index
+    /// reconstructs the undivided stream byte-for-byte.
+    #[test]
+    fn split_across_cores_preserves_the_stream(
+        seed in any::<u64>(),
+        num_ops in 1usize..1_500,
+        cores in 1usize..9,
+    ) {
+        let w = MixedWorkload::generate(100, num_ops, TrafficSpec::default(), seed);
+        let streams = w.split_across(cores);
+        prop_assert_eq!(streams.len(), cores);
+        let mut rebuilt: Vec<Option<StoreOp>> = vec![None; w.ops.len()];
+        for (core, stream) in streams.iter().enumerate() {
+            let mut prev = None;
+            for (i, op) in stream {
+                prop_assert_eq!(*i % cores, core, "op {} on the wrong core", i);
+                prop_assert!(prev < Some(*i), "global order broken within core {}", core);
+                prev = Some(*i);
+                prop_assert!(rebuilt[*i].replace(op.clone()).is_none(), "op {} duplicated", i);
+            }
+        }
+        let rebuilt: Vec<StoreOp> = rebuilt.into_iter().map(|o| o.unwrap()).collect();
+        prop_assert_eq!(stream_bytes(&rebuilt), stream_bytes(&w.ops));
+        // And chunking differently (any other core count) still yields
+        // the same underlying stream.
+        let other = w.split_across(cores % 8 + 1);
+        let mut flat: Vec<(usize, StoreOp)> = other.into_iter().flatten().collect();
+        flat.sort_by_key(|(i, _)| *i);
+        let flat: Vec<StoreOp> = flat.into_iter().map(|(_, op)| op).collect();
+        prop_assert_eq!(stream_bytes(&flat), stream_bytes(&w.ops));
+    }
+}

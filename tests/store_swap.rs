@@ -17,6 +17,7 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
 use hope::{DecodeScratch, EncodedKey, Scheme};
+use hope_store::serving::{Request, Response, Server, ServingConfig};
 use hope_store::{Backend, HopeStore, StoreConfig};
 use hope_workloads::{MixedWorkload, StoreOp, TrafficSpec};
 use proptest::prelude::*;
@@ -361,4 +362,119 @@ fn hot_swap_under_concurrent_readers() {
     for (k, v) in &shadow {
         assert_eq!(store.get(k).unwrap(), Some(*v));
     }
+}
+
+/// The serving-harness swap scenario: scans flow through the
+/// thread-per-core pipeline while every shard's dictionary is hot-swapped
+/// repeatedly underneath it. Two properties must hold:
+///
+/// 1. **No torn generation** — every scan's [`ScanSummary::epochs`]
+///    (hit epochs in shard order, consecutive duplicates collapsed) has
+///    at most one entry per shard the range crosses. A swap landing
+///    mid-shard would surface as two epochs for one shard.
+/// 2. **Tail latency survives the swap** — p99 in the swap phase stays
+///    within a generous multiple of the quiet-phase p99 (swaps happen on
+///    background rebuilds; readers never block on them).
+///
+/// [`ScanSummary::epochs`]: hope_store::serving::ScanSummary::epochs
+#[test]
+fn serving_harness_scans_never_observe_a_torn_generation() {
+    let n = if cfg!(debug_assertions) { 4_000u64 } else { 16_000 };
+    let scans = if cfg!(debug_assertions) { 600usize } else { 2_400 };
+    // Explicit swaps only, so the test controls exactly when they land.
+    let cfg = StoreConfig { shards: 4, min_observed_bytes: u64::MAX, ..StoreConfig::default() };
+    let store = Arc::new(HopeStore::build(cfg, email_pairs(n)).unwrap());
+    let serving = ServingConfig {
+        workers: 4,
+        queue_capacity: 4096,
+        batch: 32,
+        phases: 2,
+        virtual_time: false,
+    };
+    let server = Server::start(Arc::clone(&store), serving).expect("start");
+
+    // Each scan anchors at a stride-spread key and runs to the top of the
+    // keyspace, so most cross several shards (and many cross all four).
+    let scan_at = |i: usize| {
+        let lo = format!("com.gmail@user{:06}", (i as u64 * 37) % n).into_bytes();
+        Request::scan(lo, b"\xff\xff".to_vec(), 96)
+    };
+    let check_phase = |tickets: Vec<(usize, hope_store::serving::Ticket<u64>)>, phase: &str| {
+        for (i, t) in tickets {
+            let lo_shard = match scan_at(i) {
+                Request::Scan { ref low, .. } => store.shard_of(low),
+                _ => unreachable!(),
+            };
+            let shards_crossed = (store.config().shards - lo_shard) as usize;
+            match t.wait() {
+                Response::Scan(summary) => {
+                    assert!(summary.hits > 0, "{phase} scan {i} found nothing");
+                    assert!(!summary.epochs.is_empty());
+                    assert!(
+                        summary.epochs.len() <= shards_crossed,
+                        "{phase} scan {i} tore a generation: {} epochs across \
+                         {shards_crossed} shards ({:?})",
+                        summary.epochs.len(),
+                        summary.epochs,
+                    );
+                }
+                other => panic!("{phase} scan {i}: {other:?}"),
+            }
+        }
+    };
+
+    // Phase 0: quiet baseline.
+    let tickets: Vec<_> =
+        (0..scans).map(|i| (i, server.submit(scan_at(i), 0).expect("open"))).collect();
+    server.flush();
+    check_phase(tickets, "baseline");
+
+    // Phase 1: the same scan stream racing continuous full-store swaps.
+    let epochs_before = store.epochs();
+    let swapping = Arc::new(AtomicBool::new(true));
+    let tickets = std::thread::scope(|s| {
+        let swapper = {
+            let (store, swapping) = (Arc::clone(&store), Arc::clone(&swapping));
+            s.spawn(move || {
+                // At least two full rounds even if the scan stream
+                // drains first — every shard must swap twice under load.
+                let mut swaps = 0u64;
+                let mut rounds = 0u32;
+                while rounds < 2 || swapping.load(Ordering::Relaxed) {
+                    for shard in 0..store.config().shards {
+                        store.force_rebuild(shard).expect("rebuild");
+                        swaps += 1;
+                    }
+                    rounds += 1;
+                }
+                swaps
+            })
+        };
+        let tickets: Vec<_> =
+            (0..scans).map(|i| (i, server.submit(scan_at(i), 1).expect("open"))).collect();
+        server.flush();
+        swapping.store(false, Ordering::Relaxed);
+        let swaps = swapper.join().expect("swapper");
+        assert!(swaps >= 2 * store.config().shards as u64, "too few swaps to stress: {swaps}");
+        tickets
+    });
+    assert!(
+        store.epochs().iter().zip(&epochs_before).all(|(a, b)| a > b),
+        "every shard must have swapped during phase 1"
+    );
+    check_phase(tickets, "swap");
+
+    let report = server.shutdown();
+    assert_eq!(report.phases[0].scans, scans as u64);
+    assert_eq!(report.phases[1].scans, scans as u64);
+    assert_eq!(report.phases[0].errors + report.phases[1].errors, 0);
+    // Tail-latency gate: generous (this is correctness CI, not a perf
+    // rig), but a reader blocking on a rebuild would blow far past it.
+    let p99_quiet = report.phases[0].latency.quantile_ns(0.99).max(1);
+    let p99_swap = report.phases[1].latency.quantile_ns(0.99);
+    let ratio = p99_swap as f64 / p99_quiet as f64;
+    assert!(
+        ratio <= 50.0,
+        "p99 collapsed during the swap: {p99_quiet}ns quiet vs {p99_swap}ns swapping ({ratio:.1}x)"
+    );
 }
