@@ -108,6 +108,7 @@ fn main() {
         batch: 64,
         phases: 3,
         virtual_time: cfg.quick,
+        ..ServingConfig::default()
     };
     let server = Server::start(Arc::clone(&store), serving).expect("server start");
     let streams = workload.split_across(PRODUCERS);

@@ -95,6 +95,40 @@ impl BuildTimings {
     }
 }
 
+/// Snapshot of the codec's hot-path counters: how many keys took the
+/// fast encode table vs the generic walk, how often the prefix
+/// automaton's fallback edges actually fired, and which decode tier keys
+/// resolved through. Read via [`Hope::codec_stats`]; counters are relaxed
+/// atomics, and scratch-based point encodes flush their counts in batches
+/// of 64 keys, so a snapshot taken under concurrent traffic may lag each
+/// live encoding thread by up to one batch.
+///
+/// ```
+/// use hope::{HopeBuilder, Scheme};
+///
+/// let sample = vec![b"com.gmail@alice".to_vec(), b"com.gmail@bob".to_vec()];
+/// let hope = HopeBuilder::new(Scheme::DoubleChar).build_from_sample(sample).unwrap();
+/// hope.encode(b"com.gmail@carol");
+/// let stats = hope.codec_stats();
+/// assert_eq!(stats.fast_encode_keys, 1); // Double-Char always has a fused table
+/// assert_eq!(stats.generic_encode_keys, 0);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CodecStats {
+    /// Keys encoded through the fast table (fused or automaton).
+    pub fast_encode_keys: u64,
+    /// Keys encoded through the generic dictionary walk (no fast table).
+    pub generic_encode_keys: u64,
+    /// Automaton fallback edges taken (symbols resolved by a generic
+    /// [`Dict::lookup`](crate::dict::Dict::lookup) mid-fast-path). Always
+    /// 0 for the fused array tables.
+    pub automaton_fallback_takes: u64,
+    /// Keys decoded entirely through the shared fast decoder's byte table.
+    pub fast_decode_keys: u64,
+    /// Keys whose decode needed at least one bit-walk fallback.
+    pub walk_decode_keys: u64,
+}
+
 /// Configuration for building a [`Hope`] encoder.
 #[derive(Debug, Clone)]
 pub struct HopeBuilder {
@@ -337,6 +371,29 @@ impl Hope {
         self.timings
     }
 
+    /// Snapshot the codec's hot-path counters (see [`CodecStats`]).
+    ///
+    /// Decode counters come from the shared fast decoder and are zero
+    /// until [`Hope::decode_to`] / [`Hope::shared_fast_decoder`] first
+    /// build it; per-call [`Hope::fast_decoder`] tables are independent
+    /// and not reflected here.
+    pub fn codec_stats(&self) -> CodecStats {
+        let (fast_decode_keys, walk_decode_keys) = match self.shared_decoder.get() {
+            Some(d) => (d.table_key_count(), d.walk_key_count()),
+            None => (0, 0),
+        };
+        CodecStats {
+            fast_encode_keys: self.encoder.fast_key_count(),
+            generic_encode_keys: self.encoder.generic_key_count(),
+            automaton_fallback_takes: self
+                .encoder
+                .fast()
+                .map_or(0, |f| f.automaton_fallback_takes()),
+            fast_decode_keys,
+            walk_decode_keys,
+        }
+    }
+
     /// The interval division backing the dictionary (inspection/tests).
     pub fn intervals(&self) -> &IntervalSet {
         &self.intervals
@@ -443,6 +500,32 @@ mod tests {
             let e = hope.encode(key.as_bytes());
             assert_eq!(dec.decode(&e).unwrap(), key.as_bytes());
         }
+    }
+
+    #[test]
+    fn codec_stats_track_the_paths_taken() {
+        let hope = HopeBuilder::new(Scheme::ThreeGrams)
+            .dictionary_entries(512)
+            .build_from_sample(sample())
+            .unwrap();
+        assert_eq!(hope.codec_stats(), CodecStats::default(), "fresh codec counts nothing");
+        let mut enc = crate::encoder::EncodeScratch::new();
+        let mut dec = crate::decoder::DecodeScratch::new();
+        // Scratch encodes batch their counts: one full flush batch makes
+        // them visible, plus one immediately-counted allocating encode.
+        let flush = crate::encoder::COUNT_FLUSH_EVERY as u64;
+        let mut bytes = Vec::new();
+        for _ in 0..flush {
+            bytes = hope.encode_to(b"com.gmail@user0001", &mut enc).unwrap().to_vec();
+        }
+        hope.encode(b"com.gmail@user0002");
+        let stats = hope.codec_stats();
+        assert_eq!(stats.fast_encode_keys, flush + 1, "3-Grams has an automaton fast path");
+        assert_eq!(stats.generic_encode_keys, 0);
+        assert_eq!((stats.fast_decode_keys, stats.walk_decode_keys), (0, 0), "decoder unbuilt");
+        hope.decode_to(&bytes, enc.bit_len(), &mut dec).unwrap();
+        let stats = hope.codec_stats();
+        assert_eq!(stats.fast_decode_keys + stats.walk_decode_keys, 1, "one key decoded");
     }
 
     #[test]

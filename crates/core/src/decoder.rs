@@ -46,6 +46,8 @@
 //! assert_eq!(batch.iter().last().unwrap(), b"com.gmail@erin");
 //! ```
 
+use std::sync::atomic::{AtomicU64, Ordering};
+
 use crate::bitpack::{Code, EncodedKey};
 use crate::builder::HopeError;
 
@@ -315,6 +317,11 @@ pub struct FastDecoder {
     entries: Box<[ByteEntry]>,
     /// Spill buffer for output runs longer than [`INLINE_CAP`].
     emit_bytes: Vec<u8>,
+    /// Keys decoded entirely through the byte table (telemetry; relaxed).
+    table_keys: AtomicU64,
+    /// Keys that needed at least one bit-walk fallback (cold state or
+    /// giant-symbol entry) mid-stream (telemetry; relaxed).
+    walk_keys: AtomicU64,
 }
 
 impl FastDecoder {
@@ -388,7 +395,23 @@ impl FastDecoder {
             state_node: states.into_boxed_slice(),
             entries: entries.into_boxed_slice(),
             emit_bytes,
+            table_keys: AtomicU64::new(0),
+            walk_keys: AtomicU64::new(0),
         }
+    }
+
+    /// Keys decoded entirely through the byte table since construction
+    /// (telemetry counter; relaxed). Corrupt streams count too: the
+    /// counters classify the path taken, not the outcome.
+    pub fn table_key_count(&self) -> u64 {
+        self.table_keys.load(Ordering::Relaxed)
+    }
+
+    /// Keys whose decode fell back to the bit walk at least once — a cold
+    /// (untabled) resume state or a giant-symbol entry mid-stream
+    /// (telemetry counter; relaxed).
+    pub fn walk_key_count(&self) -> u64 {
+        self.walk_keys.load(Ordering::Relaxed)
     }
 
     /// Trie node behind the hot loop's tagged cursor.
@@ -402,9 +425,28 @@ impl FastDecoder {
     }
 
     /// Decode `bit_len` bits of `bytes`, appending to `out`; `false` on a
-    /// corrupt stream. The table hot loop: one entry load per input byte,
-    /// inline output copy, bit-walk fallback for cold states.
+    /// corrupt stream. Tallies one key on the table or walk counter
+    /// depending on the path the stream took.
     fn decode_append(&self, bytes: &[u8], bit_len: usize, out: &mut Vec<u8>) -> bool {
+        let mut walked = false;
+        let ok = self.decode_append_inner(bytes, bit_len, out, &mut walked);
+        if walked {
+            self.walk_keys.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.table_keys.fetch_add(1, Ordering::Relaxed);
+        }
+        ok
+    }
+
+    /// The table hot loop: one entry load per input byte, inline output
+    /// copy, bit-walk fallback for cold states (which sets `walked`).
+    fn decode_append_inner(
+        &self,
+        bytes: &[u8],
+        bit_len: usize,
+        out: &mut Vec<u8>,
+        walked: &mut bool,
+    ) -> bool {
         debug_assert!(bytes.len() * 8 >= bit_len);
         let full = bit_len / 8;
         // Tagged cursor: state id (root state 0 = trie root) or
@@ -429,6 +471,7 @@ impl FastDecoder {
                     return false;
                 }
             }
+            *walked = true;
             match self.trie.walk_bits(self.cursor_node(cur), b, 8, out) {
                 Some(n) => {
                     let s = self.node_state[n];

@@ -33,6 +33,8 @@
 //! dictionary **once** for the two keys' common prefix and resumes the
 //! second key from the recorded checkpoint.
 
+use std::sync::atomic::{AtomicU64, Ordering};
+
 use crate::axis::{lcp_len, IntervalSet};
 use crate::bitpack::{BitWriter, Code, EncodedKey};
 use crate::dict::Dict;
@@ -49,6 +51,11 @@ pub struct Encoder {
     /// reusable for another key sharing `p + max_boundary_len` prefix bytes.
     /// `None` disables batch reuse (ALM schemes).
     reuse_gram: Option<usize>,
+    /// Keys encoded through the fast table (telemetry; relaxed).
+    fast_keys: AtomicU64,
+    /// Keys encoded through the generic walk because no fast table was
+    /// built (telemetry; relaxed).
+    generic_keys: AtomicU64,
 }
 
 /// Reusable encode buffers for the allocation-free query hot paths.
@@ -78,7 +85,20 @@ pub struct EncodeScratch {
     hi: Vec<u8>,
     lo_bits: usize,
     hi_bits: usize,
+    /// Path-taken counts not yet flushed to the encoder's shared atomics
+    /// (see [`Encoder::encode_to`]): `(fast, generic)` keys.
+    pending_fast: u32,
+    pending_generic: u32,
 }
+
+/// How many [`Encoder::encode_to`] calls a scratch accumulates locally
+/// before flushing its path-taken counts into the encoder's shared
+/// atomics. A per-key `fetch_add` measurably taxed the Single-Char fast
+/// path (~4% in `perf_baseline`) and would bounce one cache line between
+/// every encoding thread; batching divides that traffic by the batch
+/// size at the cost of snapshots lagging each live scratch by up to
+/// `COUNT_FLUSH_EVERY - 1` keys.
+pub(crate) const COUNT_FLUSH_EVERY: u32 = 64;
 
 impl EncodeScratch {
     /// Fresh scratch with empty buffers.
@@ -130,7 +150,13 @@ impl Encoder {
     /// the interval division the automaton is flattened from.
     pub fn new(dict: Dict, reuse_gram: Option<usize>) -> Self {
         let fast = FastEncoder::from_dict(&dict);
-        Encoder { dict, fast, reuse_gram }
+        Encoder {
+            dict,
+            fast,
+            reuse_gram,
+            fast_keys: AtomicU64::new(0),
+            generic_keys: AtomicU64::new(0),
+        }
     }
 
     /// Like [`Encoder::new`], but additionally flattens trie dictionaries
@@ -153,7 +179,13 @@ impl Encoder {
             Dict::Art(_) => FastEncoder::automaton_from(set, codes, AUTOMATON_STATE_BUDGET / 4),
             _ => None,
         });
-        Encoder { dict, fast, reuse_gram }
+        Encoder {
+            dict,
+            fast,
+            reuse_gram,
+            fast_keys: AtomicU64::new(0),
+            generic_keys: AtomicU64::new(0),
+        }
     }
 
     /// Access the underlying dictionary.
@@ -165,6 +197,25 @@ impl Encoder {
     /// one.
     pub fn fast(&self) -> Option<&FastEncoder> {
         self.fast.as_ref()
+    }
+
+    /// Keys the production dispatch ([`Encoder::encode_into`] /
+    /// [`Encoder::encode_to`]) sent through the fast table since
+    /// construction. Telemetry counter: relaxed, and scratch-based encodes
+    /// batch their counts (a flush every 64 keys), so a snapshot taken
+    /// under concurrent encodes lags each live scratch by up to one batch.
+    pub fn fast_key_count(&self) -> u64 {
+        self.fast_keys.load(Ordering::Relaxed)
+    }
+
+    /// Keys the production dispatch sent through the generic dictionary
+    /// walk because no fast table was built (same snapshot caveats as
+    /// [`Encoder::fast_key_count`]). Direct
+    /// [`Encoder::encode_generic_into`] calls (benchmarks, differential
+    /// tests) are deliberately *not* counted: the counter reports what the
+    /// production dispatch chose.
+    pub fn generic_key_count(&self) -> u64 {
+        self.generic_keys.load(Ordering::Relaxed)
     }
 
     /// Encode one key. The empty key encodes to the empty code.
@@ -183,8 +234,14 @@ impl Encoder {
     #[inline]
     pub fn encode_into(&self, key: &[u8], w: &mut BitWriter) {
         match &self.fast {
-            Some(fast) => fast.encode_into(key, &self.dict, w),
-            None => self.encode_generic_into(key, w),
+            Some(fast) => {
+                self.fast_keys.fetch_add(1, Ordering::Relaxed);
+                fast.encode_into(key, &self.dict, w);
+            }
+            None => {
+                self.generic_keys.fetch_add(1, Ordering::Relaxed);
+                self.encode_generic_into(key, w);
+            }
         }
     }
 
@@ -224,11 +281,40 @@ impl Encoder {
 
     /// Allocation-free point encode: fill `scratch` and return the padded
     /// encoded bytes (exact bit length via [`EncodeScratch::bit_len`]).
+    ///
+    /// Path-taken telemetry is accumulated in the scratch and flushed to
+    /// the shared counters once per `COUNT_FLUSH_EVERY` (64) keys, keeping
+    /// the per-key cost to one plain increment on an already-hot line.
     #[inline]
     pub fn encode_to<'s>(&self, key: &[u8], scratch: &'s mut EncodeScratch) -> &'s [u8] {
-        self.encode_into(key, &mut scratch.writer);
+        match &self.fast {
+            Some(fast) => {
+                scratch.pending_fast += 1;
+                fast.encode_into(key, &self.dict, &mut scratch.writer);
+            }
+            None => {
+                scratch.pending_generic += 1;
+                self.encode_generic_into(key, &mut scratch.writer);
+            }
+        }
+        if scratch.pending_fast + scratch.pending_generic >= COUNT_FLUSH_EVERY {
+            self.flush_counts(scratch);
+        }
         scratch.lo_bits = scratch.writer.finish_into(&mut scratch.lo);
         &scratch.lo
+    }
+
+    /// Move a scratch's pending path-taken counts into the shared atomics.
+    #[cold]
+    fn flush_counts(&self, scratch: &mut EncodeScratch) {
+        if scratch.pending_fast > 0 {
+            self.fast_keys.fetch_add(u64::from(scratch.pending_fast), Ordering::Relaxed);
+            scratch.pending_fast = 0;
+        }
+        if scratch.pending_generic > 0 {
+            self.generic_keys.fetch_add(u64::from(scratch.pending_generic), Ordering::Relaxed);
+            scratch.pending_generic = 0;
+        }
     }
 
     /// Encode a batch of keys, exploiting shared prefixes within blocks of

@@ -45,6 +45,8 @@
 //! walk (property-tested across all six schemes in
 //! `tests/fast_encoder_equiv.rs`). See DESIGN.md, "Performance guide".
 
+use std::sync::atomic::{AtomicU64, Ordering};
+
 use crate::axis::IntervalSet;
 use crate::bitpack::{BitWriter, Code};
 use crate::dict::Dict;
@@ -98,6 +100,9 @@ struct Automaton {
     exhaust: Box<[u64]>,
     /// Number of fallback edges in `trans` (diagnostics).
     fallback_edges: usize,
+    /// Times a fallback edge was actually taken — i.e. a symbol resolved
+    /// through [`Dict::lookup`] instead of the table (telemetry; relaxed).
+    fallback_takes: AtomicU64,
 }
 
 /// The fused table of one scheme.
@@ -290,6 +295,7 @@ impl FastEncoder {
                 trans: trans.into_boxed_slice(),
                 exhaust: exhaust.into_boxed_slice(),
                 fallback_edges,
+                fallback_takes: AtomicU64::new(0),
             }),
         })
     }
@@ -334,6 +340,7 @@ impl FastEncoder {
                             break;
                         }
                         if e == FALLBACK {
+                            a.fallback_takes.fetch_add(1, Ordering::Relaxed);
                             let (code, n) = dict.lookup(&key[pos..]);
                             w.put(code);
                             pos += n;
@@ -374,6 +381,7 @@ impl FastEncoder {
                     if d == src.len() {
                         let e = a.exhaust[state];
                         if e == FALLBACK {
+                            a.fallback_takes.fetch_add(1, Ordering::Relaxed);
                             return dict.lookup(src);
                         }
                         return unpack_emit(e);
@@ -383,6 +391,7 @@ impl FastEncoder {
                         return unpack_emit(e);
                     }
                     if e == FALLBACK {
+                        a.fallback_takes.fetch_add(1, Ordering::Relaxed);
                         return dict.lookup(src);
                     }
                     state = (e & !ADVANCE_FLAG) as usize;
@@ -408,6 +417,17 @@ impl FastEncoder {
         match &self.table {
             FastTable::Automaton(a) => Some((a.exhaust.len(), a.fallback_edges)),
             _ => None,
+        }
+    }
+
+    /// Times an automaton fallback edge was *taken* — a symbol resolved
+    /// through the generic [`Dict::lookup`] instead of the table — since
+    /// construction. Always 0 for the fused array tables, whose lookup is
+    /// total (telemetry counter; relaxed).
+    pub fn automaton_fallback_takes(&self) -> u64 {
+        match &self.table {
+            FastTable::Automaton(a) => a.fallback_takes.load(Ordering::Relaxed),
+            _ => 0,
         }
     }
 
@@ -437,6 +457,7 @@ impl Automaton {
     fn emit_exhaust(&self, state: usize, rest: &[u8], dict: &Dict, w: &mut BitWriter) -> usize {
         let e = self.exhaust[state];
         if e == FALLBACK {
+            self.fallback_takes.fetch_add(1, Ordering::Relaxed);
             let (code, n) = dict.lookup(rest);
             w.put(code);
             n
@@ -553,11 +574,16 @@ mod tests {
             let (states, fallbacks) = fast.automaton_stats().unwrap();
             assert!(states <= budget);
             assert!(fallbacks > 0, "a tiny budget must produce fallback edges");
+            assert_eq!(fast.automaton_fallback_takes(), 0, "untouched table has no takes");
             for key in probes() {
                 let mut w = BitWriter::new();
                 fast.encode_into(key, &dict, &mut w);
                 assert_eq!(w.finish(), generic(&dict, key), "budget {budget}: key {key:?}");
             }
+            assert!(
+                fast.automaton_fallback_takes() > 0,
+                "budget {budget}: probes must have exercised a fallback edge"
+            );
         }
     }
 

@@ -55,7 +55,7 @@ pub mod selector;
 pub mod stats;
 
 pub use bitpack::{Code, EncodedKey};
-pub use builder::{BuildTimings, Hope, HopeBuilder, HopeError};
+pub use builder::{BuildTimings, CodecStats, Hope, HopeBuilder, HopeError};
 pub use codec::{IdentityCodec, KeyCodec, MAX_KEY_BYTES};
 pub use decoder::{DecodeScratch, DecodedBatch, Decoder, FastDecoder};
 pub use encoder::{EncodeScratch, Encoder};
@@ -82,7 +82,7 @@ pub use selector::Scheme;
 /// ```
 pub mod prelude {
     pub use crate::bitpack::EncodedKey;
-    pub use crate::builder::{Hope, HopeBuilder, HopeError};
+    pub use crate::builder::{CodecStats, Hope, HopeBuilder, HopeError};
     pub use crate::codec::{IdentityCodec, KeyCodec, MAX_KEY_BYTES};
     pub use crate::decoder::{DecodeScratch, DecodedBatch, Decoder, FastDecoder};
     pub use crate::encoder::EncodeScratch;

@@ -30,10 +30,12 @@
 
 use std::cell::RefCell;
 use std::sync::{PoisonError, RwLock};
+use std::time::Instant;
 
 use hope::{EncodeScratch, Hope, OrderedIndex, Value};
 
 use crate::error::StoreError;
+use crate::telemetry::ProbeSpans;
 use crate::SlotId;
 
 thread_local! {
@@ -216,6 +218,33 @@ impl<V: Value> Generation<V> {
         })
     }
 
+    /// [`Generation::get`] with per-stage span timing (encode vs probe),
+    /// for the serving layer's sampled request tracing. Identical
+    /// semantics; the extra `Instant` reads are why the untraced path
+    /// stays a separate function.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Codec`] when the probe key fails codec validation.
+    pub(crate) fn get_spanned(&self, key: &[u8]) -> Result<(Option<V>, ProbeSpans), StoreError> {
+        SCRATCH.with_borrow_mut(|scratch| {
+            let t0 = Instant::now();
+            let enc = self.hope.encode_to(key, scratch)?;
+            let encode_ns = t0.elapsed().as_nanos() as u64;
+            let t1 = Instant::now();
+            let d = self.read();
+            let found = d.index.get(enc).and_then(|&slot| {
+                d.slots[slot as usize]
+                    .iter()
+                    .map(|&ei| &d.entries[ei as usize])
+                    .find(|e| e.key.as_ref() == key)
+                    .map(|e| e.value.clone())
+            });
+            let probe_ns = t1.elapsed().as_nanos() as u64;
+            Ok((found, ProbeSpans { encode_ns, probe_ns, decode_ns: 0 }))
+        })
+    }
+
     /// Insert or update; returns the previous value (if any) and the
     /// encode footprint for drift accounting. Encoding happens into a
     /// thread-local scratch before the data lock is taken; the index's own
@@ -230,16 +259,36 @@ impl<V: Value> Generation<V> {
         key: &[u8],
         value: V,
     ) -> Result<(Option<V>, EncodeFootprint), StoreError> {
-        SCRATCH.with_borrow_mut(|scratch| self.insert_encoded(key, value, scratch))
+        SCRATCH.with_borrow_mut(|scratch| {
+            let bytes = self.hope.encode_to(key, scratch)?;
+            Ok(self.apply_insert(key, value, bytes))
+        })
     }
 
-    fn insert_encoded(
+    /// [`Generation::insert`] with per-stage span timing (encode vs the
+    /// index/log mutation, reported as the probe span).
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Codec`] when the key fails codec validation.
+    pub(crate) fn insert_spanned(
         &self,
         key: &[u8],
         value: V,
-        scratch: &mut EncodeScratch,
-    ) -> Result<(Option<V>, EncodeFootprint), StoreError> {
-        let bytes = self.hope.encode_to(key, scratch)?;
+    ) -> Result<(Option<V>, EncodeFootprint, ProbeSpans), StoreError> {
+        SCRATCH.with_borrow_mut(|scratch| {
+            let t0 = Instant::now();
+            let bytes = self.hope.encode_to(key, scratch)?;
+            let encode_ns = t0.elapsed().as_nanos() as u64;
+            let t1 = Instant::now();
+            let (old, footprint) = self.apply_insert(key, value, bytes);
+            let probe_ns = t1.elapsed().as_nanos() as u64;
+            Ok((old, footprint, ProbeSpans { encode_ns, probe_ns, decode_ns: 0 }))
+        })
+    }
+
+    /// The mutation half of an insert, over already-encoded padded bytes.
+    fn apply_insert(&self, key: &[u8], value: V, bytes: &[u8]) -> (Option<V>, EncodeFootprint) {
         let footprint =
             EncodeFootprint { src_bytes: key.len() as u64, enc_bytes: bytes.len() as u64 };
         let mut d = self.write();
@@ -280,7 +329,7 @@ impl<V: Value> Generation<V> {
                 None
             }
         };
-        Ok((old, footprint))
+        (old, footprint)
     }
 
     /// Bounded range query by source keys, inclusive on both ends:

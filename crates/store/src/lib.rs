@@ -66,6 +66,7 @@ mod error;
 mod generation;
 pub mod serving;
 mod shard;
+pub mod telemetry;
 
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, PoisonError};
@@ -79,7 +80,8 @@ pub use generation::Generation;
 
 use error::validate_key;
 use generation::Entry;
-use shard::Shard;
+use shard::{Shard, ShardTelemetry};
+use telemetry::{Event, EventKind, ProbeSpans, Telemetry, TelemetrySnapshot};
 
 /// The value type every shard *index* stores: an id into the shard's slot
 /// table. The index is always slot-id-valued regardless of the store's
@@ -164,6 +166,10 @@ pub struct StoreConfig {
     pub batch_block: usize,
     /// Seed for the reservoir sampling decisions.
     pub seed: u64,
+    /// Capacity of the telemetry event ring (lifecycle events retained
+    /// for [`HopeStore::telemetry`] snapshots; oldest are dropped — and
+    /// counted — past this). Clamped to at least 1.
+    pub event_capacity: usize,
 }
 
 impl Default for StoreConfig {
@@ -178,6 +184,7 @@ impl Default for StoreConfig {
             min_observed_bytes: 64 * 1024,
             batch_block: 16,
             seed: 42,
+            event_capacity: 1024,
         }
     }
 }
@@ -235,6 +242,7 @@ pub struct HopeStore<V: Value = u64> {
     boundaries: Vec<Vec<u8>>,
     shards: Vec<Shard<V>>,
     epoch_counter: AtomicU64,
+    telemetry: Arc<Telemetry>,
 }
 
 /// Fallback dictionary sample when a shard has no traffic and no resident
@@ -302,9 +310,11 @@ impl<V: Value> HopeStore<V> {
             .collect();
 
         let epoch_counter = AtomicU64::new(0);
+        let telemetry = Arc::new(Telemetry::new(cfg.event_capacity));
         let mut shards = Vec::with_capacity(cfg.shards);
         let mut sorted = sorted.into_iter().peekable();
         for s in 0..cfg.shards {
+            let build_started = std::time::Instant::now();
             // Each shard takes the load up to its boundary; the last shard
             // (no boundary above it) takes the remainder.
             let mut slice: Vec<Entry<V>> = Vec::new();
@@ -337,9 +347,24 @@ impl<V: Value> HopeStore<V> {
                 slice,
                 cfg.batch_block,
             );
-            shards.push(Shard::new(generation, cfg.reservoir_capacity, cfg.seed ^ (s as u64)));
+            telemetry.events().record(Event {
+                kind: EventKind::GenerationBuilt,
+                shard: s as u32,
+                epoch,
+                keys: generation.len() as u64,
+                bytes: generation.hope().dict_memory_bytes() as u64,
+                duration_ns: build_started.elapsed().as_nanos() as u64,
+                ..Event::default()
+            });
+            let shard_tel = ShardTelemetry::new(Arc::clone(&telemetry), s as u32);
+            shards.push(Shard::new(
+                generation,
+                cfg.reservoir_capacity,
+                cfg.seed ^ (s as u64),
+                shard_tel,
+            ));
         }
-        Ok(HopeStore { cfg, boundaries, shards, epoch_counter })
+        Ok(HopeStore { cfg, boundaries, shards, epoch_counter, telemetry })
     }
 
     /// The configuration this store was built with.
@@ -563,6 +588,100 @@ impl<V: Value> HopeStore<V> {
         }
     }
 
+    /// Point-in-time telemetry snapshot: every registered metric, the
+    /// resident tail of the lifecycle event ring, and freshly refreshed
+    /// per-shard / codec gauges. Export it with
+    /// [`TelemetrySnapshot::to_json`] or
+    /// [`TelemetrySnapshot::to_prometheus`].
+    ///
+    /// ```
+    /// use hope_store::prelude::*;
+    ///
+    /// let pairs = (0..500u64).map(|i| (format!("user{i:04}").into_bytes(), i));
+    /// let store = HopeStore::build(StoreConfig::default(), pairs)?;
+    /// store.get(b"user0007")?;
+    /// let snap = store.telemetry();
+    /// // Every shard built one generation at load time.
+    /// assert_eq!(snap.events_of(EventKind::GenerationBuilt).count(), 4);
+    /// assert!(snap.gauge("store.shard.0.epoch").is_some());
+    /// assert!(snap.to_prometheus().contains("store_shard_0_epoch"));
+    /// # Ok::<(), StoreError>(())
+    /// ```
+    pub fn telemetry(&self) -> TelemetrySnapshot {
+        self.refresh_gauges();
+        self.telemetry.snapshot()
+    }
+
+    /// Shared handle to the live telemetry hub — register additional
+    /// metrics, or read the event ring without taking a full snapshot.
+    pub fn telemetry_handle(&self) -> Arc<Telemetry> {
+        Arc::clone(&self.telemetry)
+    }
+
+    /// Publish the derived per-shard and codec gauges into the registry.
+    /// Ratios are exported in milli-units (`×1000`, truncated) — the
+    /// registry is integer-valued by design.
+    fn refresh_gauges(&self) {
+        let reg = self.telemetry.registry();
+        let mut codec = hope::CodecStats::default();
+        for (i, s) in self.shards.iter().enumerate() {
+            let g = s.current();
+            reg.gauge(&format!("store.shard.{i}.epoch")).set(g.epoch());
+            reg.gauge(&format!("store.shard.{i}.keys")).set(g.len() as u64);
+            reg.gauge(&format!("store.shard.{i}.dict_bytes"))
+                .set(g.hope().dict_memory_bytes() as u64);
+            reg.gauge(&format!("store.shard.{i}.index_bytes")).set(g.memory_bytes() as u64);
+            let baseline = g.baseline_cpr();
+            reg.gauge(&format!("store.shard.{i}.baseline_cpr_milli"))
+                .set((baseline * 1000.0) as u64);
+            let observed = s.observed_cpr().unwrap_or(0.0);
+            reg.gauge(&format!("store.shard.{i}.observed_cpr_milli"))
+                .set((observed * 1000.0) as u64);
+            // Drift score: observed/baseline. 1000 = holding the baseline;
+            // a rebuild triggers when it sinks under degrade_ratio × 1000.
+            let drift = if baseline > 0.0 && observed > 0.0 { observed / baseline } else { 0.0 };
+            reg.gauge(&format!("store.shard.{i}.drift_milli")).set((drift * 1000.0) as u64);
+            let cs = s.codec_stats();
+            codec.fast_encode_keys += cs.fast_encode_keys;
+            codec.generic_encode_keys += cs.generic_encode_keys;
+            codec.automaton_fallback_takes += cs.automaton_fallback_takes;
+            codec.fast_decode_keys += cs.fast_decode_keys;
+            codec.walk_decode_keys += cs.walk_decode_keys;
+        }
+        reg.gauge("store.codec.fast_encode_keys").set(codec.fast_encode_keys);
+        reg.gauge("store.codec.generic_encode_keys").set(codec.generic_encode_keys);
+        reg.gauge("store.codec.automaton_fallback_takes").set(codec.automaton_fallback_takes);
+        reg.gauge("store.codec.fast_decode_keys").set(codec.fast_decode_keys);
+        reg.gauge("store.codec.walk_decode_keys").set(codec.walk_decode_keys);
+    }
+
+    /// [`HopeStore::get`] with per-stage span timing (encode vs probe) —
+    /// the serving layer's sampled tracing path. Semantically identical
+    /// to `get`; the spans cost two extra `Instant` reads, which is why
+    /// the untraced path stays separate.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Codec`] when the probe key fails validation.
+    pub fn get_traced(&self, key: &[u8]) -> Result<(Option<V>, ProbeSpans), StoreError> {
+        self.shards[self.route(key)].get_traced(key)
+    }
+
+    /// [`HopeStore::insert`] with per-stage span timing (encode vs the
+    /// index/log mutation, reported as the probe span).
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Codec`] when the key fails validation; the store is
+    /// unchanged in that case.
+    pub fn insert_traced(
+        &self,
+        key: Vec<u8>,
+        value: V,
+    ) -> Result<(Option<V>, ProbeSpans), StoreError> {
+        self.shards[self.route(&key)].insert_traced(&key, value)
+    }
+
     /// Per-shard health snapshot.
     pub fn stats(&self) -> Vec<ShardReport> {
         self.shards
@@ -649,6 +768,10 @@ impl Drop for Maintainer {
 /// One-stop import for the store's v1 public API.
 pub mod prelude {
     pub use crate::serving::{Request, Response, Server, ServingConfig, ServingReport, Ticket};
+    pub use crate::telemetry::{
+        Event, EventKind, EventLog, HistogramSummary, LatencyHistogram, MetricsRegistry,
+        ProbeSpans, Telemetry, TelemetrySnapshot, TraceSampler,
+    };
     pub use crate::{
         Backend, HopeStore, IndexFactory, Maintainer, MaintenanceLog, RangeCursor, ShardReport,
         SlotId, StoreConfig, StoreError, SwapReport,

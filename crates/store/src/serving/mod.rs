@@ -73,8 +73,9 @@ use crate::error::StoreError;
 use crate::HopeStore;
 
 pub use metrics::LatencyHistogram;
-pub use queue::{QueueStats, RejectReason};
+pub use queue::{QueueCounters, QueueStats, RejectReason};
 
+use crate::telemetry::TelemetrySnapshot;
 use queue::BoundedQueue;
 
 /// Serving-pipeline parameters ([`Server::start`]).
@@ -92,6 +93,11 @@ pub struct ServingConfig {
     /// Deterministic virtual-time latency accounting (see [`virtual_cost`])
     /// instead of wall-clock enqueue→completion.
     pub virtual_time: bool,
+    /// Sampled request tracing: every Nth request per worker runs on the
+    /// store's traced probe paths and records queue-wait / encode / probe
+    /// / decode spans into `serving.trace.*` histograms. `0` disables
+    /// tracing (the default — the untraced hot path pays nothing).
+    pub trace_sample_every: u32,
 }
 
 impl Default for ServingConfig {
@@ -102,6 +108,7 @@ impl Default for ServingConfig {
             batch: 64,
             phases: 1,
             virtual_time: false,
+            trace_sample_every: 0,
         }
     }
 }
@@ -351,6 +358,12 @@ pub struct ServingReport {
     pub workers: usize,
     /// Whether latencies are virtual (deterministic) or wall-clock.
     pub virtual_time: bool,
+    /// Store-wide telemetry at shutdown: registered metrics (including
+    /// the `serving.worker.*` queue counters, `serving.phase.*`
+    /// aggregates and any `serving.trace.*` span histograms this run
+    /// recorded), refreshed shard/codec gauges, and the lifecycle event
+    /// ring.
+    pub telemetry: TelemetrySnapshot,
 }
 
 impl ServingReport {
@@ -392,7 +405,13 @@ impl<V: Value> Server<V> {
         if !(1..=16).contains(&cfg.phases) {
             return Err(StoreError::InvalidConfig { reason: "phases must be in 1..=16" });
         }
-        let queues = (0..cfg.workers).map(|_| BoundedQueue::new(cfg.queue_capacity)).collect();
+        let registry_handle = store.telemetry_handle();
+        let queues = (0..cfg.workers)
+            .map(|i| {
+                let counters = QueueCounters::register(registry_handle.registry(), i);
+                BoundedQueue::with_counters(cfg.queue_capacity, counters)
+            })
+            .collect();
         let shared = Arc::new(Shared {
             store,
             queues,
@@ -519,6 +538,7 @@ impl<V: Value> Server<V> {
             queues: self.shared.queues.iter().map(|q| q.stats()).collect(),
             workers: cfg.workers,
             virtual_time: cfg.virtual_time,
+            telemetry: self.shared.store.telemetry(),
         }
     }
 }

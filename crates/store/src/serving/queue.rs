@@ -15,8 +15,45 @@
 //! exact — which the overload tests assert op-for-op.
 
 use std::collections::VecDeque;
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Condvar, Mutex, PoisonError};
+
+use crate::telemetry::{Counter, Gauge, MetricsRegistry};
+
+/// The telemetry handles one queue's admission accounting lands on.
+///
+/// [`QueueCounters::detached`] (the [`BoundedQueue::new`] default) counts
+/// without exporting anywhere — unit tests and standalone queues pay one
+/// relaxed atomic per op either way. [`QueueCounters::register`] puts the
+/// same handles under `serving.worker.{i}.*` in a registry, which is how
+/// the server wires every worker queue into the store's telemetry hub.
+#[derive(Debug, Clone, Default)]
+pub struct QueueCounters {
+    /// Total requests ever admitted.
+    pub enqueued: Counter,
+    /// Requests refused by `try_push` because the queue was at budget.
+    pub rejected: Counter,
+    /// Consumer-side batch drains (one lock round each).
+    pub batches: Counter,
+    /// Deepest backlog ever observed at admission time.
+    pub peak_depth: Gauge,
+}
+
+impl QueueCounters {
+    /// Handles not registered anywhere (they count, but never export).
+    pub fn detached() -> QueueCounters {
+        QueueCounters::default()
+    }
+
+    /// Handles registered under `serving.worker.{worker}.*`.
+    pub fn register(reg: &MetricsRegistry, worker: usize) -> QueueCounters {
+        QueueCounters {
+            enqueued: reg.counter(&format!("serving.worker.{worker}.enqueued")),
+            rejected: reg.counter(&format!("serving.worker.{worker}.rejected")),
+            batches: reg.counter(&format!("serving.worker.{worker}.batches")),
+            peak_depth: reg.gauge(&format!("serving.worker.{worker}.queue_depth_peak")),
+        }
+    }
+}
 
 /// A bounded multi-producer single-consumer queue.
 ///
@@ -30,14 +67,8 @@ pub struct BoundedQueue<T> {
     /// Signals blocked producers: space freed (or the queue closed).
     space: Condvar,
     capacity: usize,
-    /// Total requests ever admitted.
-    enqueued: AtomicU64,
-    /// Requests refused by `try_push` because the queue was at budget.
-    rejected: AtomicU64,
-    /// Consumer-side batch drains (one lock round each).
-    batches: AtomicU64,
-    /// Deepest backlog ever observed at admission time.
-    peak_depth: AtomicU64,
+    /// Admission accounting (shared registry handles or detached).
+    counters: QueueCounters,
 }
 
 #[derive(Debug)]
@@ -69,17 +100,21 @@ pub struct QueueStats {
 }
 
 impl<T> BoundedQueue<T> {
-    /// New queue with an admission budget of `capacity` (min 1).
+    /// New queue with an admission budget of `capacity` (min 1) and
+    /// detached (unexported) counters.
     pub fn new(capacity: usize) -> Self {
+        BoundedQueue::with_counters(capacity, QueueCounters::detached())
+    }
+
+    /// New queue recording its admission accounting into `counters`
+    /// (typically [`QueueCounters::register`]ed in a telemetry registry).
+    pub fn with_counters(capacity: usize, counters: QueueCounters) -> Self {
         BoundedQueue {
             inner: Mutex::new(QueueInner { items: VecDeque::new(), closed: false }),
             items: Condvar::new(),
             space: Condvar::new(),
             capacity: capacity.max(1),
-            enqueued: AtomicU64::new(0),
-            rejected: AtomicU64::new(0),
-            batches: AtomicU64::new(0),
-            peak_depth: AtomicU64::new(0),
+            counters,
         }
     }
 
@@ -88,8 +123,8 @@ impl<T> BoundedQueue<T> {
     }
 
     fn note_admitted(&self, depth: usize) {
-        self.enqueued.fetch_add(1, Ordering::Relaxed);
-        self.peak_depth.fetch_max(depth as u64, Ordering::Relaxed);
+        self.counters.enqueued.inc();
+        self.counters.peak_depth.record_max(depth as u64);
     }
 
     /// Admission-controlled push: refuse instead of blocking or growing.
@@ -100,7 +135,7 @@ impl<T> BoundedQueue<T> {
         }
         if q.items.len() >= self.capacity {
             drop(q);
-            self.rejected.fetch_add(1, Ordering::Relaxed);
+            self.counters.rejected.inc();
             return Err((item, RejectReason::Overloaded));
         }
         q.items.push_back(item);
@@ -144,7 +179,7 @@ impl<T> BoundedQueue<T> {
         let take = max.max(1).min(q.items.len());
         out.extend(q.items.drain(..take));
         drop(q);
-        self.batches.fetch_add(1, Ordering::Relaxed);
+        self.counters.batches.inc();
         // A batch drain can free many slots: wake every blocked producer.
         self.space.notify_all();
         true
@@ -165,10 +200,10 @@ impl<T> BoundedQueue<T> {
     /// Counters snapshot.
     pub fn stats(&self) -> QueueStats {
         QueueStats {
-            enqueued: self.enqueued.load(Ordering::Relaxed),
-            rejected: self.rejected.load(Ordering::Relaxed),
-            batches: self.batches.load(Ordering::Relaxed),
-            peak_depth: self.peak_depth.load(Ordering::Relaxed),
+            enqueued: self.counters.enqueued.get(),
+            rejected: self.counters.rejected.get(),
+            batches: self.counters.batches.get(),
+            peak_depth: self.counters.peak_depth.get(),
         }
     }
 }

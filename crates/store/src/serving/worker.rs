@@ -1,5 +1,13 @@
 //! The serving worker loop: drain one queue in batches, execute against
 //! the store, account latency per phase, complete tickets.
+//!
+//! Workers also carry the sampled-tracing hook: when
+//! [`ServingConfig::trace_sample_every`](super::ServingConfig) is `N > 0`,
+//! every Nth request a worker executes runs on the store's traced probe
+//! paths and its queue-wait / encode / probe / decode spans land in the
+//! `serving.trace.*` histograms of the store's telemetry registry. The
+//! untraced path is untouched — disabled tracing costs one predictable
+//! branch per request.
 
 use std::sync::Arc;
 use std::time::Instant;
@@ -8,6 +16,7 @@ use hope::Value;
 
 use super::metrics::LatencyHistogram;
 use super::{virtual_cost, Envelope, Request, Response, ScanSummary, Shared};
+use crate::telemetry::{Histo, ProbeSpans, TraceSampler};
 
 /// Per-phase accumulator one worker keeps (merged at shutdown).
 #[derive(Debug)]
@@ -41,6 +50,15 @@ impl PhaseAccum {
 #[derive(Debug)]
 pub(crate) struct WorkerOutput {
     pub phases: Vec<PhaseAccum>,
+}
+
+/// The `serving.trace.*` span histograms (resolved once per worker).
+#[derive(Debug)]
+struct TraceHistos {
+    queue_wait: Histo,
+    encode: Histo,
+    probe: Histo,
+    decode: Histo,
 }
 
 /// Execute one request against the store.
@@ -77,9 +95,68 @@ fn execute<V: Value>(shared: &Shared<V>, req: Request<V>) -> Response<V> {
     }
 }
 
+/// [`execute`] on the store's span-timed paths. For scans, the probe span
+/// is the time to the first hit (bound encode + index descent) and the
+/// decode span is the remainder of the pull loop.
+fn execute_traced<V: Value>(
+    shared: &Shared<V>,
+    req: Request<V>,
+) -> (Response<V>, Option<ProbeSpans>) {
+    match req {
+        Request::Get { key } => match shared.store.get_traced(&key) {
+            Ok((v, spans)) => (Response::Get(v), Some(spans)),
+            Err(e) => (Response::Error(e), None),
+        },
+        Request::Insert { key, value } => match shared.store.insert_traced(key, value) {
+            Ok((prev, spans)) => (Response::Insert(prev), Some(spans)),
+            Err(e) => (Response::Error(e), None),
+        },
+        Request::Scan { low, high, limit } => {
+            let probe_started = Instant::now();
+            let mut cur = match shared.store.cursor(&low, &high, limit) {
+                Ok(c) => c,
+                Err(e) => return (Response::Error(e), None),
+            };
+            let mut summary = ScanSummary::default();
+            let mut probe_ns = 0u64;
+            let mut pull_started: Option<Instant> = None;
+            while let Some((k, _v)) = cur.next_hit() {
+                if summary.hits == 0 {
+                    probe_ns = probe_started.elapsed().as_nanos() as u64;
+                    pull_started = Some(Instant::now());
+                }
+                summary.hits += 1;
+                summary.key_bytes += k.len() as u64;
+                if let Some(e) = cur.hit_epoch() {
+                    if summary.epochs.last() != Some(&e) {
+                        summary.epochs.push(e);
+                    }
+                }
+            }
+            if summary.hits == 0 {
+                probe_ns = probe_started.elapsed().as_nanos() as u64;
+            }
+            let decode_ns = pull_started.map_or(0, |t| t.elapsed().as_nanos() as u64);
+            let spans = ProbeSpans { encode_ns: 0, probe_ns, decode_ns };
+            match cur.error() {
+                Some(e) => (Response::Error(e.clone()), None),
+                None => (Response::Scan(summary), Some(spans)),
+            }
+        }
+    }
+}
+
 /// The worker thread body: worker `i` owns `shared.queues[i]`.
 pub(crate) fn run<V: Value>(i: usize, shared: Arc<Shared<V>>) -> WorkerOutput {
     let cfg = shared.cfg;
+    let tel = shared.store.telemetry_handle();
+    let mut sampler = TraceSampler::new(cfg.trace_sample_every);
+    let trace = sampler.is_enabled().then(|| TraceHistos {
+        queue_wait: tel.registry().histo("serving.trace.queue_wait"),
+        encode: tel.registry().histo("serving.trace.encode"),
+        probe: tel.registry().histo("serving.trace.probe"),
+        decode: tel.registry().histo("serving.trace.decode"),
+    });
     let mut phases: Vec<PhaseAccum> = (0..cfg.phases).map(|_| PhaseAccum::new()).collect();
     let mut batch: Vec<Envelope<V>> = Vec::with_capacity(cfg.batch);
     // `pop_batch` returns false only when the queue is closed *and*
@@ -88,18 +165,23 @@ pub(crate) fn run<V: Value>(i: usize, shared: Arc<Shared<V>>) -> WorkerOutput {
         let n = batch.len() as u64;
         for env in batch.drain(..) {
             let acc = &mut phases[env.phase as usize];
+            let traced = sampler.tick();
+            // Queue wait is measured at dequeue, before execution eats
+            // into it (wall mode only — virtual mode has no enqueue time).
+            let queue_wait_ns =
+                if traced { env.enqueued_at.map(|t| t.elapsed().as_nanos() as u64) } else { None };
             // Virtual mode: a request's cost is a pure function of the
             // request (virtual_cost) — deterministic across runs. Wall
             // mode: enqueue→completion, the latency a client would see.
             let (latency_ns, service_ns) = if cfg.virtual_time {
                 let cost = virtual_cost(&env.req);
-                let resp = execute(&shared, env.req);
-                finish(env.ticket, resp, acc);
+                let spans = run_one(&shared, env.req, env.ticket, acc, traced);
+                record_trace(&trace, queue_wait_ns, spans);
                 (cost, cost)
             } else {
                 let started = Instant::now();
-                let resp = execute(&shared, env.req);
-                finish(env.ticket, resp, acc);
+                let spans = run_one(&shared, env.req, env.ticket, acc, traced);
+                record_trace(&trace, queue_wait_ns, spans);
                 let service = started.elapsed().as_nanos() as u64;
                 let total = env.enqueued_at.map_or(service, |t| t.elapsed().as_nanos() as u64);
                 (total, service)
@@ -110,7 +192,54 @@ pub(crate) fn run<V: Value>(i: usize, shared: Arc<Shared<V>>) -> WorkerOutput {
         }
         shared.note_completed(n);
     }
+    // Publish this worker's phase aggregates into the shared registry
+    // (`serving.phase.{p}.*`) — the same numbers `shutdown` merges into
+    // `ServingReport.phases`, but visible to mid-run snapshots too.
+    let reg = tel.registry();
+    for (p, acc) in phases.iter().enumerate() {
+        if acc.ops == 0 {
+            continue;
+        }
+        reg.counter(&format!("serving.phase.{p}.ops")).add(acc.ops);
+        reg.counter(&format!("serving.phase.{p}.gets")).add(acc.gets);
+        reg.counter(&format!("serving.phase.{p}.inserts")).add(acc.inserts);
+        reg.counter(&format!("serving.phase.{p}.scans")).add(acc.scans);
+        reg.counter(&format!("serving.phase.{p}.scan_hits")).add(acc.scan_hits);
+        reg.counter(&format!("serving.phase.{p}.errors")).add(acc.errors);
+        reg.histo(&format!("serving.phase.{p}.latency")).merge(&acc.latency);
+    }
     WorkerOutput { phases }
+}
+
+/// Execute (traced or not), tally, complete — one request end to end.
+fn run_one<V: Value>(
+    shared: &Shared<V>,
+    req: Request<V>,
+    ticket: Option<Arc<super::TicketState<V>>>,
+    acc: &mut PhaseAccum,
+    traced: bool,
+) -> Option<ProbeSpans> {
+    let (resp, spans) =
+        if traced { execute_traced(shared, req) } else { (execute(shared, req), None) };
+    finish(ticket, resp, acc);
+    spans
+}
+
+/// Record one traced request's spans (no-op when tracing is off).
+fn record_trace(
+    trace: &Option<TraceHistos>,
+    queue_wait_ns: Option<u64>,
+    spans: Option<ProbeSpans>,
+) {
+    let Some(t) = trace else { return };
+    if let Some(w) = queue_wait_ns {
+        t.queue_wait.record(w);
+    }
+    if let Some(s) = spans {
+        t.encode.record(s.encode_ns);
+        t.probe.record(s.probe_ns);
+        t.decode.record(s.decode_ns);
+    }
 }
 
 /// Tally the response kind and complete the ticket (if any).

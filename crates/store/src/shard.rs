@@ -27,16 +27,44 @@
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard, PoisonError, RwLock};
+use std::time::Instant;
 
 use hope::stats;
-use hope::Value;
+use hope::{CodecStats, Value};
 
 use crate::error::StoreError;
 use crate::generation::{Entry, Generation};
+use crate::telemetry::{Counter, Event, EventKind, ProbeSpans, Telemetry};
 use crate::{StoreConfig, SwapReport};
 
 fn lock<'a, T>(m: &'a Mutex<T>) -> MutexGuard<'a, T> {
     m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// One shard's slice of the store-wide telemetry hub: the shared hub (for
+/// the event ring), the shard id stamped on every event, and the shard's
+/// pre-registered rebuild counters (`store.shard.{i}.rebuilds` /
+/// `.rebuild_errors`).
+#[derive(Debug)]
+pub(crate) struct ShardTelemetry {
+    hub: Arc<Telemetry>,
+    shard: u32,
+    rebuilds: Counter,
+    rebuild_errors: Counter,
+}
+
+impl ShardTelemetry {
+    pub(crate) fn new(hub: Arc<Telemetry>, shard: u32) -> Self {
+        let reg = hub.registry();
+        let rebuilds = reg.counter(&format!("store.shard.{shard}.rebuilds"));
+        let rebuild_errors = reg.counter(&format!("store.shard.{shard}.rebuild_errors"));
+        ShardTelemetry { hub, shard, rebuilds, rebuild_errors }
+    }
+
+    /// Event template stamped with this shard's id.
+    fn event(&self, kind: EventKind) -> Event {
+        Event { kind, shard: self.shard, ..Event::default() }
+    }
 }
 
 /// Uniform reservoir sample (algorithm R) over the keys inserted since the
@@ -99,10 +127,21 @@ pub(crate) struct Shard<V: Value = u64> {
     obs_enc: AtomicU64,
     /// Traffic sample feeding the next dictionary rebuild.
     reservoir: Mutex<Reservoir>,
+    /// Telemetry slice: rebuild counters and the shared event ring.
+    tel: ShardTelemetry,
+    /// Codec path counters accumulated from superseded generations at
+    /// swap time (their `Hope` dies with the old `Arc`), so store-level
+    /// codec telemetry stays monotone across swaps.
+    retired: Mutex<CodecStats>,
 }
 
 impl<V: Value> Shard<V> {
-    pub(crate) fn new(generation: Generation<V>, reservoir_capacity: usize, seed: u64) -> Self {
+    pub(crate) fn new(
+        generation: Generation<V>,
+        reservoir_capacity: usize,
+        seed: u64,
+        tel: ShardTelemetry,
+    ) -> Self {
         Shard {
             gen: RwLock::new(Arc::new(generation)),
             writer: Mutex::new(()),
@@ -110,6 +149,8 @@ impl<V: Value> Shard<V> {
             obs_src: AtomicU64::new(0),
             obs_enc: AtomicU64::new(0),
             reservoir: Mutex::new(Reservoir::new(reservoir_capacity, seed)),
+            tel,
+            retired: Mutex::new(CodecStats::default()),
         }
     }
 
@@ -138,6 +179,45 @@ impl<V: Value> Shard<V> {
         self.obs_enc.fetch_add(footprint.enc_bytes, Ordering::Relaxed);
         lock(&self.reservoir).offer(key);
         Ok(old)
+    }
+
+    /// [`Shard::get`] with per-stage span timing (sampled tracing path).
+    pub(crate) fn get_traced(&self, key: &[u8]) -> Result<(Option<V>, ProbeSpans), StoreError> {
+        self.current().get_spanned(key)
+    }
+
+    /// [`Shard::insert`] with per-stage span timing (sampled tracing
+    /// path); drift accounting is identical to the untraced insert.
+    pub(crate) fn insert_traced(
+        &self,
+        key: &[u8],
+        value: V,
+    ) -> Result<(Option<V>, ProbeSpans), StoreError> {
+        let _w = lock(&self.writer);
+        let generation = self.current();
+        let (old, footprint, spans) = generation.insert_spanned(key, value)?;
+        self.obs_src.fetch_add(footprint.src_bytes, Ordering::Relaxed);
+        self.obs_enc.fetch_add(footprint.enc_bytes, Ordering::Relaxed);
+        lock(&self.reservoir).offer(key);
+        Ok((old, spans))
+    }
+
+    /// Codec path counters: the live generation's compressor plus
+    /// everything accumulated from superseded generations at swap time.
+    /// (Readers still draining on a superseded generation after the flip
+    /// may contribute a handful of uncounted probes — the totals are
+    /// observability, not accounting.)
+    pub(crate) fn codec_stats(&self) -> CodecStats {
+        let retired = *lock(&self.retired);
+        let live = self.current().hope().codec_stats();
+        CodecStats {
+            fast_encode_keys: retired.fast_encode_keys + live.fast_encode_keys,
+            generic_encode_keys: retired.generic_encode_keys + live.generic_encode_keys,
+            automaton_fallback_takes: retired.automaton_fallback_takes
+                + live.automaton_fallback_takes,
+            fast_decode_keys: retired.fast_decode_keys + live.fast_decode_keys,
+            walk_decode_keys: retired.walk_decode_keys + live.walk_decode_keys,
+        }
     }
 
     /// CPR observed on the insert traffic of the current generation, or
@@ -215,6 +295,44 @@ impl<V: Value> Shard<V> {
         epoch_counter: &AtomicU64,
         _rebuild_guard: MutexGuard<'_, ()>,
     ) -> Result<SwapReport, StoreError> {
+        let started = Instant::now();
+        let prev_epoch = self.current().epoch();
+        self.tel.hub.events().record(Event { prev_epoch, ..self.tel.event(EventKind::SwapBegin) });
+        match self.rebuild_inner(shard_id, cfg, epoch_counter) {
+            Ok((report, dict_bytes)) => {
+                self.tel.rebuilds.inc();
+                self.tel.hub.events().record(Event {
+                    prev_epoch: report.old_epoch,
+                    epoch: report.new_epoch,
+                    keys: report.live_keys as u64,
+                    replayed: report.replayed as u64,
+                    bytes: dict_bytes as u64,
+                    duration_ns: started.elapsed().as_nanos() as u64,
+                    ..self.tel.event(EventKind::SwapEnd)
+                });
+                Ok(report)
+            }
+            Err(e) => {
+                self.tel.rebuild_errors.inc();
+                self.tel.hub.events().record(Event {
+                    prev_epoch,
+                    duration_ns: started.elapsed().as_nanos() as u64,
+                    ..self.tel.event(EventKind::RebuildFailed)
+                });
+                Err(e)
+            }
+        }
+    }
+
+    /// The rebuild itself (runs under the caller-held rebuild guard);
+    /// returns the report plus the new dictionary's memory footprint for
+    /// the swap-end event.
+    fn rebuild_inner(
+        &self,
+        shard_id: usize,
+        cfg: &StoreConfig,
+        epoch_counter: &AtomicU64,
+    ) -> Result<(SwapReport, usize), StoreError> {
         let old = self.current();
         let (live, watermark) = old.snapshot_live();
 
@@ -261,11 +379,23 @@ impl<V: Value> Shard<V> {
             live_keys,
             replayed,
         };
+        let dict_bytes = next.hope().dict_memory_bytes();
+        // The old generation's codec counters die with its `Arc`; fold
+        // them into the retired total before the flip retires it.
+        let old_codec = old.hope().codec_stats();
+        {
+            let mut retired = lock(&self.retired);
+            retired.fast_encode_keys += old_codec.fast_encode_keys;
+            retired.generic_encode_keys += old_codec.generic_encode_keys;
+            retired.automaton_fallback_takes += old_codec.automaton_fallback_takes;
+            retired.fast_decode_keys += old_codec.fast_decode_keys;
+            retired.walk_decode_keys += old_codec.walk_decode_keys;
+        }
         *self.gen.write().unwrap_or_else(PoisonError::into_inner) = Arc::new(next);
         self.obs_src.store(0, Ordering::Relaxed);
         self.obs_enc.store(0, Ordering::Relaxed);
         lock(&self.reservoir).reset();
-        Ok(report)
+        Ok((report, dict_bytes))
     }
 }
 

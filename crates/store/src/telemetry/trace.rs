@@ -1,0 +1,103 @@
+//! Sampled request tracing: a deterministic 1-in-N sampler plus the
+//! per-stage span record the traced probe paths fill in.
+//!
+//! Tracing a request costs a handful of `Instant::now()` calls and one
+//! histogram lock per stage; sampling keeps that off the common path.
+//! The `telemetry_overhead` gate in `perf_baseline` holds the total at
+//! ≤ 2% over the untraced path at the default 1-in-64 rate.
+
+/// Deterministic 1-in-N sampler (`every == 0` disables sampling).
+///
+/// Counting, not random: over any window of `every` requests exactly one
+/// is traced, so two runs over the same op sequence trace the same
+/// requests — which keeps the deterministic `--quick` benches honest.
+///
+/// ```
+/// use hope_store::telemetry::TraceSampler;
+///
+/// let mut s = TraceSampler::new(3);
+/// let picks: Vec<bool> = (0..6).map(|_| s.tick()).collect();
+/// assert_eq!(picks, vec![false, false, true, false, false, true]);
+/// assert!(!TraceSampler::new(0).tick(), "0 disables sampling entirely");
+/// ```
+#[derive(Debug, Clone)]
+pub struct TraceSampler {
+    every: u32,
+    seen: u32,
+}
+
+impl TraceSampler {
+    /// Sampler tracing one request in `every` (`0` = never).
+    pub fn new(every: u32) -> TraceSampler {
+        TraceSampler { every, seen: 0 }
+    }
+
+    /// True when sampling is configured at all.
+    pub fn is_enabled(&self) -> bool {
+        self.every > 0
+    }
+
+    /// Count one request; true when this one should be traced.
+    #[inline]
+    pub fn tick(&mut self) -> bool {
+        if self.every == 0 {
+            return false;
+        }
+        self.seen += 1;
+        if self.seen >= self.every {
+            self.seen = 0;
+            true
+        } else {
+            false
+        }
+    }
+}
+
+/// Per-stage wall-clock spans of one traced request, in nanoseconds.
+///
+/// Stages mirror the probe pipeline: dictionary **encode** of the probe
+/// key, index **probe** (descent + slot check, or the whole mutation for
+/// an insert), and **decode** (a scan's pull loop; point ops never
+/// decode — keys are kept in source form). Queue wait is recorded
+/// separately by the serving worker (it is a property of the envelope,
+/// not of the store call).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ProbeSpans {
+    /// Probe-key (or scan-bound) encode time.
+    pub encode_ns: u64,
+    /// Index descent + slot resolution (scans: time to first hit).
+    pub probe_ns: u64,
+    /// Result decode / scan pull-loop time (0 for point ops).
+    pub decode_ns: u64,
+}
+
+impl ProbeSpans {
+    /// Sum of all stages.
+    pub fn total_ns(&self) -> u64 {
+        self.encode_ns.saturating_add(self.probe_ns).saturating_add(self.decode_ns)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sampler_is_periodic_and_zero_disables() {
+        let mut s = TraceSampler::new(4);
+        assert!(s.is_enabled());
+        let picks: Vec<bool> = (0..12).map(|_| s.tick()).collect();
+        assert_eq!(picks.iter().filter(|&&p| p).count(), 3);
+        assert!(picks[3] && picks[7] && picks[11]);
+        let mut off = TraceSampler::new(0);
+        assert!(!off.is_enabled());
+        assert!((0..100).all(|_| !off.tick()));
+    }
+
+    #[test]
+    fn spans_total() {
+        let sp = ProbeSpans { encode_ns: 10, probe_ns: 20, decode_ns: 30 };
+        assert_eq!(sp.total_ns(), 60);
+        assert_eq!(ProbeSpans::default().total_ns(), 0);
+    }
+}

@@ -24,8 +24,14 @@ fn admission_control_sheds_but_never_drops() {
     let store = store_with(500);
     // Tiny queues + tiny batches against fast producers: rejections are
     // guaranteed at these sizes (asserted below), which is the point.
-    let cfg =
-        ServingConfig { workers: 2, queue_capacity: 8, batch: 4, phases: 1, virtual_time: false };
+    let cfg = ServingConfig {
+        workers: 2,
+        queue_capacity: 8,
+        batch: 4,
+        phases: 1,
+        virtual_time: false,
+        ..ServingConfig::default()
+    };
     let server = Server::start(Arc::clone(&store), cfg).expect("start");
 
     let producers = 4;
@@ -115,6 +121,7 @@ fn shutdown_completes_every_admitted_ticket() {
         batch: 16,
         phases: 1,
         virtual_time: false,
+        ..ServingConfig::default()
     };
     let server = Server::start(Arc::clone(&store), cfg).expect("start");
     let tickets: Vec<_> = (0..200u64)

@@ -390,6 +390,7 @@ fn serving_harness_scans_never_observe_a_torn_generation() {
         batch: 32,
         phases: 2,
         virtual_time: false,
+        ..ServingConfig::default()
     };
     let server = Server::start(Arc::clone(&store), serving).expect("start");
 
