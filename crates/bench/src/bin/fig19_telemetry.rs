@@ -110,6 +110,7 @@ fn main() {
         phases: 3,
         virtual_time: cfg.quick,
         trace_sample_every: TRACE_EVERY,
+        faults: None,
     };
     let server = Server::start(Arc::clone(&store), serving).expect("server start");
     let streams = workload.split_across(PRODUCERS);

@@ -35,6 +35,18 @@ pub enum StoreError {
         /// How many shards the store has.
         shards: usize,
     },
+    /// A rebuild forced to fail by an installed fault-injection plan
+    /// ([`HopeStore::inject_faults`](crate::HopeStore::inject_faults)) —
+    /// the deterministic test double for a real dictionary-build failure.
+    /// The shard keeps serving its current generation, exactly as it
+    /// would for [`StoreError::Codec`].
+    FaultInjected {
+        /// Shard whose rebuild was failed.
+        shard: usize,
+        /// 0-based rebuild attempt (per shard, counted while the plan is
+        /// installed) the plan chose to fail.
+        attempt: u64,
+    },
 }
 
 impl std::fmt::Display for StoreError {
@@ -46,6 +58,9 @@ impl std::fmt::Display for StoreError {
             StoreError::Codec(e) => write!(f, "codec error: {e}"),
             StoreError::NoSuchShard { shard, shards } => {
                 write!(f, "shard {shard} out of range (store has {shards})")
+            }
+            StoreError::FaultInjected { shard, attempt } => {
+                write!(f, "injected fault: shard {shard} rebuild attempt {attempt} forced to fail")
             }
         }
     }

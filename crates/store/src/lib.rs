@@ -574,6 +574,45 @@ impl<V: Value> HopeStore<V> {
         (swaps, errors)
     }
 
+    /// Install a fault-injection plan on every shard's maintenance path:
+    /// rebuild attempts the plan selects ([`FaultPlan::rebuild_fails`])
+    /// fail with [`StoreError::FaultInjected`] *before* any build work,
+    /// and flow through the shard's normal failure handling — the old
+    /// generation keeps serving, `store.shard.{i}.rebuild_errors` and
+    /// `store.faults.injected_rebuild_failures` tick, and a
+    /// [`RebuildFailed`](telemetry::EventKind::RebuildFailed) event lands
+    /// in the ring. Installing resets every shard's attempt counter;
+    /// [`HopeStore::clear_faults`] uninstalls.
+    ///
+    /// [`FaultPlan::rebuild_fails`]: serving::FaultPlan::rebuild_fails
+    ///
+    /// ```
+    /// use hope_store::prelude::*;
+    ///
+    /// let pairs = (0..500u64).map(|i| (format!("user{i:04}").into_bytes(), i));
+    /// let store = HopeStore::build(StoreConfig::default(), pairs)?;
+    /// store.inject_faults(FaultPlan { rebuild_fail_every: 2, ..FaultPlan::default() });
+    /// // Attempt 0 is forced to fail; the shard keeps serving …
+    /// assert!(matches!(store.force_rebuild(0), Err(StoreError::FaultInjected { .. })));
+    /// assert_eq!(store.get(b"user0007")?, Some(7));
+    /// // … and attempt 1 heals it.
+    /// assert!(store.force_rebuild(0).is_ok());
+    /// # Ok::<(), StoreError>(())
+    /// ```
+    pub fn inject_faults(&self, plan: serving::FaultPlan) {
+        for s in &self.shards {
+            s.set_fault_plan(Some(plan));
+        }
+    }
+
+    /// Remove any installed fault-injection plan (see
+    /// [`HopeStore::inject_faults`]).
+    pub fn clear_faults(&self) {
+        for s in &self.shards {
+            s.set_fault_plan(None);
+        }
+    }
+
     /// Unconditionally rebuild and swap one shard (testing/operations).
     ///
     /// # Errors
@@ -767,7 +806,10 @@ impl Drop for Maintainer {
 
 /// One-stop import for the store's v1 public API.
 pub mod prelude {
-    pub use crate::serving::{Request, Response, Server, ServingConfig, ServingReport, Ticket};
+    pub use crate::serving::{
+        FaultAction, FaultPlan, FaultTally, Request, Response, Server, ServingConfig,
+        ServingReport, Ticket, WorkerStats,
+    };
     pub use crate::telemetry::{
         Event, EventKind, EventLog, HistogramSummary, LatencyHistogram, MetricsRegistry,
         ProbeSpans, Telemetry, TelemetrySnapshot, TraceSampler,

@@ -59,6 +59,7 @@
 //! # Ok::<(), StoreError>(())
 //! ```
 
+pub mod faults;
 pub mod metrics;
 pub mod queue;
 mod worker;
@@ -72,10 +73,11 @@ use hope::Value;
 use crate::error::StoreError;
 use crate::HopeStore;
 
+pub use faults::{FaultAction, FaultPlan, FaultTally, ParseFaultPlanError};
 pub use metrics::LatencyHistogram;
 pub use queue::{QueueCounters, QueueStats, RejectReason};
 
-use crate::telemetry::TelemetrySnapshot;
+use crate::telemetry::{Counter, TelemetrySnapshot};
 use queue::BoundedQueue;
 
 /// Serving-pipeline parameters ([`Server::start`]).
@@ -98,6 +100,11 @@ pub struct ServingConfig {
     /// / decode spans into `serving.trace.*` histograms. `0` disables
     /// tracing (the default — the untraced hot path pays nothing).
     pub trace_sample_every: u32,
+    /// Deterministic fault injection (see [`faults`]): per-worker
+    /// slowdowns, stalls, spikes, queue-pressure bursts, and the
+    /// degraded-mode shed hook at admission. `None` (the default)
+    /// injects nothing and costs one branch per request.
+    pub faults: Option<FaultPlan>,
 }
 
 impl Default for ServingConfig {
@@ -109,6 +116,7 @@ impl Default for ServingConfig {
             phases: 1,
             virtual_time: false,
             trace_sample_every: 0,
+            faults: None,
         }
     }
 }
@@ -178,6 +186,19 @@ pub struct ScanSummary {
     /// observe at most S epochs — one per shard — or a hot-swap tore it
     /// (the `store_swap` harness test asserts exactly this).
     pub epochs: Vec<u64>,
+}
+
+impl ScanSummary {
+    /// Record the epoch of the generation that served the next hit,
+    /// collapsing consecutive duplicates — the invariant-preserving way
+    /// to grow [`epochs`](ScanSummary::epochs): a cursor pins one
+    /// generation per shard, so a well-formed scan notes at most one
+    /// epoch per shard it touches, in shard order.
+    pub fn note_epoch(&mut self, epoch: u64) {
+        if self.epochs.last() != Some(&epoch) {
+            self.epochs.push(epoch);
+        }
+    }
 }
 
 /// A completed request's result.
@@ -251,6 +272,11 @@ impl<V: Value> Ticket<V> {
 pub(crate) struct Envelope<V: Value> {
     pub req: Request<V>,
     pub phase: u8,
+    /// Admission ticket number (the order requests were admitted in) —
+    /// the request index every [`FaultPlan`] decision keys on. With a
+    /// single submitter it equals the stream position, which is what
+    /// makes fault injection byte-deterministic across runs.
+    pub index: u64,
     /// Wall-mode latency starts at admission.
     pub enqueued_at: Option<Instant>,
     pub ticket: Option<Arc<TicketState<V>>>,
@@ -285,6 +311,9 @@ pub(crate) struct Shared<V: Value> {
     admitted: AtomicU64,
     /// Requests fully executed and completed.
     completed: AtomicU64,
+    /// Requests the degraded-mode hook shed to a healthy worker
+    /// (mirrored into the `serving.fault.rerouted` counter).
+    rerouted: Counter,
     flush_lock: Mutex<()>,
     flush_cv: Condvar,
 }
@@ -347,15 +376,40 @@ impl PhaseStats {
     }
 }
 
+/// Per-worker aggregate over all phases (see
+/// [`ServingReport::worker_stats`]) — the attribution the fault-SLO gate
+/// needs: healthy-worker tail latency is the merge of every
+/// non-[`degraded`](WorkerStats::degraded) worker's histogram.
+#[derive(Debug, Clone)]
+pub struct WorkerStats {
+    /// Worker index.
+    pub worker: usize,
+    /// Requests this worker executed.
+    pub ops: u64,
+    /// Total service time on this worker (ns; includes injected delays).
+    pub busy_ns: u64,
+    /// Latency distribution of the requests this worker executed.
+    pub latency: LatencyHistogram,
+    /// Faults injected into this worker's requests.
+    pub faults: FaultTally,
+    /// True when the config's [`FaultPlan`] degrades this worker in at
+    /// least one phase.
+    pub degraded: bool,
+}
+
 /// Everything the serving run did, returned by [`Server::shutdown`].
 #[derive(Debug, Clone)]
 pub struct ServingReport {
     /// Per-phase aggregates, indexed by the phase tag requests carried.
     pub phases: Vec<PhaseStats>,
+    /// Per-worker aggregates, in worker order.
+    pub worker_stats: Vec<WorkerStats>,
     /// Per-worker queue counters, in worker order.
     pub queues: Vec<QueueStats>,
     /// Worker threads the server ran.
     pub workers: usize,
+    /// Requests the degraded-mode hook shed to a healthy worker.
+    pub rerouted: u64,
     /// Whether latencies are virtual (deterministic) or wall-clock.
     pub virtual_time: bool,
     /// Store-wide telemetry at shutdown: registered metrics (including
@@ -405,6 +459,23 @@ impl<V: Value> Server<V> {
         if !(1..=16).contains(&cfg.phases) {
             return Err(StoreError::InvalidConfig { reason: "phases must be in 1..=16" });
         }
+        if let Some(plan) = &cfg.faults {
+            if plan.degraded_worker.is_some_and(|w| w >= cfg.workers) {
+                return Err(StoreError::InvalidConfig {
+                    reason: "fault plan degrades a worker the config does not have",
+                });
+            }
+            if plan.slow_factor == 0 {
+                return Err(StoreError::InvalidConfig {
+                    reason: "fault plan slow_factor must be at least 1",
+                });
+            }
+            if plan.shed_pct > 100 {
+                return Err(StoreError::InvalidConfig {
+                    reason: "fault plan shed_pct must be in 0..=100",
+                });
+            }
+        }
         let registry_handle = store.telemetry_handle();
         let queues = (0..cfg.workers)
             .map(|i| {
@@ -412,12 +483,18 @@ impl<V: Value> Server<V> {
                 BoundedQueue::with_counters(cfg.queue_capacity, counters)
             })
             .collect();
+        let rerouted = if cfg.faults.is_some() {
+            registry_handle.registry().counter("serving.fault.rerouted")
+        } else {
+            Counter::detached()
+        };
         let shared = Arc::new(Shared {
             store,
             queues,
             cfg,
             admitted: AtomicU64::new(0),
             completed: AtomicU64::new(0),
+            rerouted,
             flush_lock: Mutex::new(()),
             flush_cv: Condvar::new(),
         });
@@ -439,19 +516,38 @@ impl<V: Value> Server<V> {
         self.shared.store.shard_of(key) % self.shared.cfg.workers
     }
 
+    /// True when the config's fault plan degrades `worker` in at least
+    /// one phase — the admission-side hook a driver uses to separate
+    /// healthy-worker tail latency from the sick worker's.
+    pub fn is_degraded(&self, worker: usize) -> bool {
+        self.shared
+            .cfg
+            .faults
+            .is_some_and(|p| p.degraded_worker == Some(worker) && p.phase_mask != 0)
+    }
+
     fn envelope(&self, req: Request<V>, phase: usize, ticket: bool) -> Envelope<V> {
         Envelope {
             req,
             phase: phase.min(self.shared.cfg.phases - 1) as u8,
+            index: 0,
             enqueued_at: (!self.shared.cfg.virtual_time).then(Instant::now),
             ticket: ticket.then(|| TicketState::new()),
         }
     }
 
-    fn push(&self, env: Envelope<V>, blocking: bool) -> Result<Option<Ticket<V>>, Rejected<V>> {
-        let worker = self.shared.store.shard_of(env.req.routing_key()) % self.shared.cfg.workers;
+    fn push(&self, mut env: Envelope<V>, blocking: bool) -> Result<Option<Ticket<V>>, Rejected<V>> {
+        let mut worker =
+            self.shared.store.shard_of(env.req.routing_key()) % self.shared.cfg.workers;
         let ticket = env.ticket.as_ref().map(|t| Ticket(Arc::clone(t)));
-        self.shared.admitted.fetch_add(1, Ordering::Relaxed);
+        let index = self.shared.admitted.fetch_add(1, Ordering::Relaxed);
+        env.index = index;
+        if let Some(plan) = &self.shared.cfg.faults {
+            if let Some(alt) = plan.reroute(worker, index, env.phase, self.shared.cfg.workers) {
+                worker = alt;
+                self.shared.rerouted.inc();
+            }
+        }
         let queue = &self.shared.queues[worker];
         let pushed = if blocking { queue.push_blocking(env) } else { queue.try_push(env) };
         match pushed {
@@ -519,9 +615,13 @@ impl<V: Value> Server<V> {
         }
         let cfg = self.shared.cfg;
         let mut phases = vec![PhaseStats::empty(); cfg.phases];
-        for h in self.handles.drain(..) {
+        let mut worker_stats = Vec::with_capacity(cfg.workers);
+        for (i, h) in self.handles.drain(..).enumerate() {
             let out = h.join().expect("serving worker panicked");
-            for (agg, w) in phases.iter_mut().zip(out.phases) {
+            let mut ops = 0;
+            let mut busy_ns = 0;
+            let mut latency = LatencyHistogram::new();
+            for (agg, w) in phases.iter_mut().zip(&out.phases) {
                 agg.ops += w.ops;
                 agg.gets += w.gets;
                 agg.inserts += w.inserts;
@@ -531,12 +631,27 @@ impl<V: Value> Server<V> {
                 agg.latency.merge(&w.latency);
                 agg.busy_ns_max = agg.busy_ns_max.max(w.busy_ns);
                 agg.busy_ns_total += w.busy_ns;
+                ops += w.ops;
+                busy_ns += w.busy_ns;
+                latency.merge(&w.latency);
             }
+            worker_stats.push(WorkerStats {
+                worker: i,
+                ops,
+                busy_ns,
+                latency,
+                faults: out.faults,
+                degraded: cfg
+                    .faults
+                    .is_some_and(|p| p.degraded_worker == Some(i) && p.phase_mask != 0),
+            });
         }
         ServingReport {
             phases,
+            worker_stats,
             queues: self.shared.queues.iter().map(|q| q.stats()).collect(),
             workers: cfg.workers,
+            rerouted: self.shared.rerouted.get(),
             virtual_time: cfg.virtual_time,
             telemetry: self.shared.store.telemetry(),
         }

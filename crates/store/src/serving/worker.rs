@@ -8,12 +8,21 @@
 //! `serving.trace.*` histograms of the store's telemetry registry. The
 //! untraced path is untouched — disabled tracing costs one predictable
 //! branch per request.
+//!
+//! Fault injection rides the same loop: when the config carries a
+//! [`FaultPlan`](super::FaultPlan) with serving-side faults, each request
+//! asks the plan for its [`FaultAction`](super::FaultAction) — a pure
+//! function of `(worker, request index, phase)`. In virtual mode the
+//! action scales and pads the deterministic cost (byte-identical across
+//! runs); in wall mode the worker actually waits the injected time out,
+//! so wall-clock SLO gates see real degradation.
 
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use hope::Value;
 
+use super::faults::FaultTally;
 use super::metrics::LatencyHistogram;
 use super::{virtual_cost, Envelope, Request, Response, ScanSummary, Shared};
 use crate::telemetry::{Histo, ProbeSpans, TraceSampler};
@@ -50,6 +59,7 @@ impl PhaseAccum {
 #[derive(Debug)]
 pub(crate) struct WorkerOutput {
     pub phases: Vec<PhaseAccum>,
+    pub faults: FaultTally,
 }
 
 /// The `serving.trace.*` span histograms (resolved once per worker).
@@ -82,9 +92,7 @@ fn execute<V: Value>(shared: &Shared<V>, req: Request<V>) -> Response<V> {
                 summary.hits += 1;
                 summary.key_bytes += k.len() as u64;
                 if let Some(e) = cur.hit_epoch() {
-                    if summary.epochs.last() != Some(&e) {
-                        summary.epochs.push(e);
-                    }
+                    summary.note_epoch(e);
                 }
             }
             match cur.error() {
@@ -128,9 +136,7 @@ fn execute_traced<V: Value>(
                 summary.hits += 1;
                 summary.key_bytes += k.len() as u64;
                 if let Some(e) = cur.hit_epoch() {
-                    if summary.epochs.last() != Some(&e) {
-                        summary.epochs.push(e);
-                    }
+                    summary.note_epoch(e);
                 }
             }
             if summary.hits == 0 {
@@ -157,6 +163,12 @@ pub(crate) fn run<V: Value>(i: usize, shared: Arc<Shared<V>>) -> WorkerOutput {
         probe: tel.registry().histo("serving.trace.probe"),
         decode: tel.registry().histo("serving.trace.decode"),
     });
+    // Fault decisions are made here, at execution, from the envelope's
+    // admission index — not at admission — so a rerouted request is
+    // still judged by the worker that *executes* it (the whole point of
+    // shedding away from a degraded worker).
+    let faults = cfg.faults.filter(|p| p.any_serving_faults());
+    let mut tally = FaultTally::default();
     let mut phases: Vec<PhaseAccum> = (0..cfg.phases).map(|_| PhaseAccum::new()).collect();
     let mut batch: Vec<Envelope<V>> = Vec::with_capacity(cfg.batch);
     // `pop_batch` returns false only when the queue is closed *and*
@@ -166,15 +178,18 @@ pub(crate) fn run<V: Value>(i: usize, shared: Arc<Shared<V>>) -> WorkerOutput {
         for env in batch.drain(..) {
             let acc = &mut phases[env.phase as usize];
             let traced = sampler.tick();
+            let action = faults.map(|p| p.action(i, env.index, env.phase)).unwrap_or_default();
+            tally.note(&action);
             // Queue wait is measured at dequeue, before execution eats
             // into it (wall mode only — virtual mode has no enqueue time).
             let queue_wait_ns =
                 if traced { env.enqueued_at.map(|t| t.elapsed().as_nanos() as u64) } else { None };
             // Virtual mode: a request's cost is a pure function of the
-            // request (virtual_cost) — deterministic across runs. Wall
-            // mode: enqueue→completion, the latency a client would see.
+            // request (virtual_cost) and the plan's action — deterministic
+            // across runs. Wall mode: enqueue→completion, the latency a
+            // client would see, with injected delays actually waited out.
             let (latency_ns, service_ns) = if cfg.virtual_time {
-                let cost = virtual_cost(&env.req);
+                let cost = virtual_cost(&env.req) * action.slow_factor.max(1) + action.extra_ns();
                 let spans = run_one(&shared, env.req, env.ticket, acc, traced);
                 record_trace(&trace, queue_wait_ns, spans);
                 (cost, cost)
@@ -182,6 +197,12 @@ pub(crate) fn run<V: Value>(i: usize, shared: Arc<Shared<V>>) -> WorkerOutput {
                 let started = Instant::now();
                 let spans = run_one(&shared, env.req, env.ticket, acc, traced);
                 record_trace(&trace, queue_wait_ns, spans);
+                let executed = started.elapsed().as_nanos() as u64;
+                let penalty =
+                    executed.saturating_mul(action.slow_factor.max(1) - 1) + action.extra_ns();
+                if penalty > 0 {
+                    inject_wall_delay(penalty);
+                }
                 let service = started.elapsed().as_nanos() as u64;
                 let total = env.enqueued_at.map_or(service, |t| t.elapsed().as_nanos() as u64);
                 (total, service)
@@ -208,7 +229,27 @@ pub(crate) fn run<V: Value>(i: usize, shared: Arc<Shared<V>>) -> WorkerOutput {
         reg.counter(&format!("serving.phase.{p}.errors")).add(acc.errors);
         reg.histo(&format!("serving.phase.{p}.latency")).merge(&acc.latency);
     }
-    WorkerOutput { phases }
+    if tally.total() > 0 {
+        reg.counter("serving.fault.slowed").add(tally.slowed);
+        reg.counter("serving.fault.stalled").add(tally.stalled);
+        reg.counter("serving.fault.burst").add(tally.burst);
+        reg.counter("serving.fault.spiked").add(tally.spiked);
+    }
+    WorkerOutput { phases, faults: tally }
+}
+
+/// Actually wait out an injected delay (wall mode). Short delays spin —
+/// `thread::sleep` has ~50µs floor jitter that would swamp a 10µs spike —
+/// long stalls sleep so a degraded worker doesn't burn a core.
+fn inject_wall_delay(ns: u64) {
+    if ns >= 1_000_000 {
+        std::thread::sleep(Duration::from_nanos(ns));
+    } else {
+        let deadline = Instant::now() + Duration::from_nanos(ns);
+        while Instant::now() < deadline {
+            std::hint::spin_loop();
+        }
+    }
 }
 
 /// Execute (traced or not), tally, complete — one request end to end.

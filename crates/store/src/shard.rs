@@ -34,6 +34,7 @@ use hope::{CodecStats, Value};
 
 use crate::error::StoreError;
 use crate::generation::{Entry, Generation};
+use crate::serving::FaultPlan;
 use crate::telemetry::{Counter, Event, EventKind, ProbeSpans, Telemetry};
 use crate::{StoreConfig, SwapReport};
 
@@ -64,6 +65,31 @@ impl ShardTelemetry {
     /// Event template stamped with this shard's id.
     fn event(&self, kind: EventKind) -> Event {
         Event { kind, shard: self.shard, ..Event::default() }
+    }
+}
+
+/// The maintenance-path fault hook: an optionally installed [`FaultPlan`]
+/// plus the per-shard rebuild-attempt counter its decisions key on. The
+/// counter only advances while a plan is installed, so an injection
+/// window's attempt numbering is deterministic regardless of what the
+/// store did before it.
+#[derive(Debug)]
+pub(crate) struct ShardFaults {
+    plan: Mutex<Option<FaultPlan>>,
+    attempts: AtomicU64,
+}
+
+impl ShardFaults {
+    fn new() -> Self {
+        ShardFaults { plan: Mutex::new(None), attempts: AtomicU64::new(0) }
+    }
+
+    /// The injection decision for one rebuild attempt (`None` = proceed).
+    fn check(&self, shard: usize) -> Option<StoreError> {
+        let plan = (*lock(&self.plan))?;
+        let attempt = self.attempts.fetch_add(1, Ordering::Relaxed);
+        plan.rebuild_fails(shard as u32, attempt)
+            .then_some(StoreError::FaultInjected { shard, attempt })
     }
 }
 
@@ -129,6 +155,8 @@ pub(crate) struct Shard<V: Value = u64> {
     reservoir: Mutex<Reservoir>,
     /// Telemetry slice: rebuild counters and the shared event ring.
     tel: ShardTelemetry,
+    /// Fault-injection hook on the rebuild path (testing/acceptance).
+    faults: ShardFaults,
     /// Codec path counters accumulated from superseded generations at
     /// swap time (their `Hope` dies with the old `Arc`), so store-level
     /// codec telemetry stays monotone across swaps.
@@ -150,8 +178,17 @@ impl<V: Value> Shard<V> {
             obs_enc: AtomicU64::new(0),
             reservoir: Mutex::new(Reservoir::new(reservoir_capacity, seed)),
             tel,
+            faults: ShardFaults::new(),
             retired: Mutex::new(CodecStats::default()),
         }
+    }
+
+    /// Install (or clear) the rebuild fault-injection plan. Installing
+    /// resets the attempt counter so injection cadences start from
+    /// attempt 0.
+    pub(crate) fn set_fault_plan(&self, plan: Option<FaultPlan>) {
+        *lock(&self.faults.plan) = plan;
+        self.faults.attempts.store(0, Ordering::Relaxed);
     }
 
     /// Clone the current generation out of the epoch slot.
@@ -297,7 +334,12 @@ impl<V: Value> Shard<V> {
     ) -> Result<SwapReport, StoreError> {
         let started = Instant::now();
         let prev_epoch = self.current().epoch();
-        self.tel.hub.events().record(Event { prev_epoch, ..self.tel.event(EventKind::SwapBegin) });
+        // epoch == prev_epoch by contract: nothing installed yet.
+        self.tel.hub.events().record(Event {
+            prev_epoch,
+            epoch: prev_epoch,
+            ..self.tel.event(EventKind::SwapBegin)
+        });
         match self.rebuild_inner(shard_id, cfg, epoch_counter) {
             Ok((report, dict_bytes)) => {
                 self.tel.rebuilds.inc();
@@ -314,8 +356,10 @@ impl<V: Value> Shard<V> {
             }
             Err(e) => {
                 self.tel.rebuild_errors.inc();
+                // epoch == prev_epoch by contract: nothing new installed.
                 self.tel.hub.events().record(Event {
                     prev_epoch,
+                    epoch: prev_epoch,
                     duration_ns: started.elapsed().as_nanos() as u64,
                     ..self.tel.event(EventKind::RebuildFailed)
                 });
@@ -333,6 +377,14 @@ impl<V: Value> Shard<V> {
         cfg: &StoreConfig,
         epoch_counter: &AtomicU64,
     ) -> Result<(SwapReport, usize), StoreError> {
+        // The fault hook fires before any build work: an injected failure
+        // costs nothing, mutates nothing, and flows through the same
+        // error path (rebuild_errors counter + RebuildFailed event) a
+        // real dictionary-build failure would.
+        if let Some(e) = self.faults.check(shard_id) {
+            self.tel.hub.registry().counter("store.faults.injected_rebuild_failures").inc();
+            return Err(e);
+        }
         let old = self.current();
         let (live, watermark) = old.snapshot_live();
 

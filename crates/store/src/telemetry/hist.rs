@@ -1,24 +1,31 @@
 //! The reusable log-linear latency histogram.
 //!
 //! [`LatencyHistogram`] is a fixed-size log-linear histogram (HdrHistogram
-//! shape, no dependencies): 32 octaves of 32 linear sub-buckets each cover
-//! `1 ns ..= ~4.3 s` with ≤ 3.2% relative bucket width — plenty for
-//! p50/p99/p999 gates — in 4 KiB of counters that merge with a single
-//! pass. Recording is branch-light (a leading-zeros and two shifts), so
-//! the workers can stamp every request without the measurement becoming
-//! the workload.
+//! shape, no dependencies): one bucket per nanosecond below 256 ns (the
+//! sub-µs probe and span region records *exactly*), then octaves of 32
+//! linear sub-buckets with ≤ 3.2% relative bucket width all the way to
+//! `u64::MAX` ns — plenty for p50/p99/p999 gates — in 16 KiB of counters
+//! that merge with a single pass. Recording is branch-light (a
+//! leading-zeros and two shifts), so the workers can stamp every request
+//! without the measurement becoming the workload.
 //!
 //! Grew up in `serving::metrics` (which still re-exports it); promoted
 //! here so every layer — serving phases, sampled request traces, user
 //! code — records into the same shape through a registry
 //! [`Histo`](crate::telemetry::Histo) handle.
 
-/// Linear sub-buckets per power-of-two octave.
+/// Values below this many ns get one bucket each (exact recording).
+const EXACT: u64 = 256;
+/// log2 of [`EXACT`].
+const EXACT_BITS: u32 = 8;
+/// Linear sub-buckets per power-of-two octave above the exact region.
 const SUB: usize = 32;
 /// log2 of [`SUB`].
 const SUB_BITS: u32 = 5;
-/// Octaves tracked; values past the range clamp into the last bucket.
-const OCTAVES: usize = 32;
+/// Octaves above the exact region: msb 8 ..= 63 covers all of `u64`.
+const OCTAVES: usize = 56;
+/// Total bucket count.
+const BUCKETS: usize = EXACT as usize + SUB * OCTAVES;
 
 /// A log-linear latency histogram over nanosecond values.
 #[derive(Debug, Clone)]
@@ -38,28 +45,29 @@ impl Default for LatencyHistogram {
 impl LatencyHistogram {
     /// Empty histogram.
     pub fn new() -> Self {
-        LatencyHistogram { counts: vec![0; SUB * OCTAVES], total: 0, sum_ns: 0, max_ns: 0 }
+        LatencyHistogram { counts: vec![0; BUCKETS], total: 0, sum_ns: 0, max_ns: 0 }
     }
 
     /// Bucket index of a nanosecond value.
     fn bucket(ns: u64) -> usize {
-        if ns < SUB as u64 {
-            // The first octave is exact: one bucket per nanosecond.
+        if ns < EXACT {
+            // The exact region: one bucket per nanosecond.
             return ns as usize;
         }
         let msb = 63 - ns.leading_zeros();
-        let octave = (msb - SUB_BITS + 1) as usize;
+        let octave = (msb - EXACT_BITS) as usize;
         let sub = ((ns >> (msb - SUB_BITS)) as usize) & (SUB - 1);
-        (octave * SUB + sub).min(SUB * OCTAVES - 1)
+        (EXACT as usize + octave * SUB + sub).min(BUCKETS - 1)
     }
 
     /// Lower bound (ns) of bucket `i` — what quantiles report.
     fn bucket_floor(i: usize) -> u64 {
-        let (octave, sub) = (i / SUB, (i % SUB) as u64);
-        if octave == 0 {
-            return sub;
+        if i < EXACT as usize {
+            return i as u64;
         }
-        let base = 1u64 << (octave as u32 + SUB_BITS - 1);
+        let r = i - EXACT as usize;
+        let (octave, sub) = (r / SUB, (r % SUB) as u64);
+        let base = 1u64 << (octave as u32 + EXACT_BITS);
         base + sub * (base >> SUB_BITS)
     }
 
@@ -120,7 +128,7 @@ impl LatencyHistogram {
                 return Self::bucket_floor(i);
             }
         }
-        Self::bucket_floor(SUB * OCTAVES - 1)
+        Self::bucket_floor(BUCKETS - 1)
     }
 
     /// `(p50, p99, p999)` in nanoseconds.
@@ -136,15 +144,19 @@ mod tests {
     #[test]
     fn buckets_are_monotone_and_cover_the_range() {
         let mut prev_floor = 0;
-        for i in 1..SUB * OCTAVES {
+        for i in 1..BUCKETS {
             let f = LatencyHistogram::bucket_floor(i);
-            assert!(f > prev_floor || f == prev_floor && i % SUB == 0, "floor not monotone at {i}");
+            assert!(f > prev_floor, "floor not monotone at {i}");
             prev_floor = f;
         }
-        for ns in [0u64, 1, 31, 32, 33, 1000, 123_456, u64::MAX / 2] {
+        for ns in [0u64, 1, 31, 32, 33, 255, 256, 257, 1000, 123_456, u64::MAX / 2, u64::MAX] {
             let b = LatencyHistogram::bucket(ns);
-            assert!(b < SUB * OCTAVES);
+            assert!(b < BUCKETS);
             assert!(LatencyHistogram::bucket_floor(b) <= ns, "floor above sample at {ns}");
+        }
+        // The exact region records sub-256ns values without rounding.
+        for ns in 0..EXACT {
+            assert_eq!(LatencyHistogram::bucket_floor(LatencyHistogram::bucket(ns)), ns);
         }
     }
 

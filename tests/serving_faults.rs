@@ -1,0 +1,251 @@
+//! Integration suite for the serving-side fault-injection layer
+//! (`hope_store::serving::faults`): determinism of virtual-time runs
+//! under an active plan, the degraded-mode shed hook, wall-mode stalls
+//! vs the exactly-once completion guarantee, and config validation.
+
+use std::sync::Arc;
+
+use hope_store::serving::{FaultPlan, Request, Response, Server, ServingConfig, ServingReport};
+use hope_store::{HopeStore, StoreConfig, StoreError};
+
+fn store(n: u64) -> Arc<HopeStore<u64>> {
+    let pairs = (0..n).map(|i| (format!("com.gmail@user{i:06}").into_bytes(), i));
+    Arc::new(
+        HopeStore::build(
+            StoreConfig { min_observed_bytes: u64::MAX, ..StoreConfig::default() },
+            pairs,
+        )
+        .expect("store build"),
+    )
+}
+
+/// A fixed three-phase op stream: gets, inserts and scans spread over
+/// the keyspace, submitted in one thread so admission indices equal
+/// stream positions.
+fn drive(server: &Server<u64>, n: u64, ops: usize) -> u64 {
+    for i in 0..ops {
+        let phase = i * 3 / ops;
+        let k = format!("com.gmail@user{:06}", (i as u64 * 131) % n).into_bytes();
+        match i % 10 {
+            0..=6 => server.submit_detached(Request::get(k), phase).expect("open"),
+            7 | 8 => server.submit_detached(Request::insert(k, i as u64), phase).expect("open"),
+            _ => {
+                let mut high = k.clone();
+                high.push(0xFF);
+                server.submit_detached(Request::scan(k, high, 8), phase).expect("open")
+            }
+        }
+    }
+    server.flush();
+    ops as u64
+}
+
+fn observe(r: &ServingReport) -> Vec<(u64, u64, u64, u64, u64, u64)> {
+    let mut rows = Vec::new();
+    for p in &r.phases {
+        let (p50, p99, p999) = p.latency.slo_points();
+        rows.push((p.ops, p.gets + p.inserts + p.scans, p.errors, p50, p99, p999));
+    }
+    for w in &r.worker_stats {
+        let (p50, p99, p999) = w.latency.slo_points();
+        rows.push((w.ops, w.faults.total(), u64::from(w.degraded), p50, p99, p999));
+    }
+    rows.push((r.rerouted, r.total_ops(), r.total_rejected(), 0, 0, 0));
+    rows
+}
+
+fn exercised_plan() -> FaultPlan {
+    FaultPlan {
+        seed: 99,
+        degraded_worker: Some(1),
+        slow_factor: 10,
+        stall_every: 50,
+        stall_ns: 40_000,
+        spike_every: 400,
+        spike_ns: 5_000,
+        burst_every: 512,
+        burst_len: 16,
+        burst_ns: 2_000,
+        shed_pct: 60,
+        rebuild_fail_every: 0,
+        phase_mask: u16::MAX,
+    }
+}
+
+/// Two virtual-time runs over the same op stream and plan are
+/// observably identical: per-phase stats, per-worker stats, fault
+/// tallies, shed counts — everything the fig20 DIGEST is built from.
+#[test]
+fn virtual_runs_with_faults_are_deterministic() {
+    let n = 4_000u64;
+    let cfg = ServingConfig {
+        workers: 4,
+        phases: 3,
+        virtual_time: true,
+        faults: Some(exercised_plan()),
+        ..ServingConfig::default()
+    };
+    let run = || {
+        let server = Server::start(store(n), cfg).expect("start");
+        let submitted = drive(&server, n, 6_000);
+        let report = server.shutdown();
+        assert_eq!(report.total_ops(), submitted);
+        observe(&report)
+    };
+    assert_eq!(run(), run(), "two identical virtual runs diverged");
+}
+
+/// `shed_pct: 100` starves the degraded worker completely: with every
+/// phase active, all of its would-be traffic lands on healthy peers,
+/// and the shed is mirrored in `rerouted` and the degraded worker's
+/// zero op count.
+#[test]
+fn full_shed_starves_the_degraded_worker() {
+    let n = 4_000u64;
+    let plan = FaultPlan { shed_pct: 100, ..exercised_plan() };
+    let cfg = ServingConfig {
+        workers: 4,
+        phases: 3,
+        virtual_time: true,
+        faults: Some(plan),
+        ..ServingConfig::default()
+    };
+    let server = Server::start(store(n), cfg).expect("start");
+    assert!(server.is_degraded(1) && !server.is_degraded(0));
+    let submitted = drive(&server, n, 4_000);
+    let report = server.shutdown();
+    assert_eq!(report.total_ops(), submitted);
+    let sick = &report.worker_stats[1];
+    assert!(sick.degraded);
+    assert_eq!(sick.ops, 0, "full shed must starve the sick worker");
+    assert!(report.rerouted > 0, "shed traffic must be counted");
+    assert_eq!(
+        report.telemetry.counter("serving.fault.rerouted"),
+        Some(report.rerouted),
+        "rerouted counter must mirror the report"
+    );
+    // Everything still completed exactly once, just elsewhere.
+    assert_eq!(report.worker_stats.iter().map(|w| w.ops).sum::<u64>(), submitted);
+}
+
+/// With no shedding, the degraded worker keeps its traffic and its
+/// virtual latencies show the 10× slow factor: its p50 is an order of
+/// magnitude above any healthy worker's.
+#[test]
+fn slow_factor_shows_up_in_the_degraded_tail() {
+    let n = 4_000u64;
+    let plan = FaultPlan {
+        shed_pct: 0,
+        stall_every: 0,
+        spike_every: 0,
+        burst_every: 0,
+        ..exercised_plan()
+    };
+    let cfg = ServingConfig {
+        workers: 4,
+        phases: 3,
+        virtual_time: true,
+        faults: Some(plan),
+        ..ServingConfig::default()
+    };
+    let server = Server::start(store(n), cfg).expect("start");
+    let submitted = drive(&server, n, 4_000);
+    let report = server.shutdown();
+    assert_eq!(report.total_ops(), submitted);
+    assert_eq!(report.rerouted, 0);
+    let sick = &report.worker_stats[1];
+    assert!(sick.ops > 0, "no shed: the sick worker must keep its traffic");
+    assert_eq!(sick.faults.slowed, sick.ops, "every sick-worker request pays the factor");
+    let sick_p50 = sick.latency.quantile_ns(0.50);
+    for w in report.worker_stats.iter().filter(|w| !w.degraded) {
+        if w.ops == 0 {
+            continue;
+        }
+        let healthy_p50 = w.latency.quantile_ns(0.50).max(1);
+        let ratio = sick_p50 as f64 / healthy_p50 as f64;
+        assert!(
+            (5.0..=20.0).contains(&ratio),
+            "slow factor 10 not visible: sick p50 {sick_p50}ns vs healthy {healthy_p50}ns"
+        );
+    }
+}
+
+/// Wall-mode stalls on the sick worker must not break exactly-once
+/// completion: every ticketed request resolves, nothing is rejected,
+/// and the stall tally shows the injections really happened.
+#[test]
+fn wall_mode_stalls_do_not_lose_tickets() {
+    let n = 2_000u64;
+    let plan = FaultPlan {
+        seed: 7,
+        degraded_worker: Some(1),
+        slow_factor: 2,
+        stall_every: 8,
+        stall_ns: 2_000_000, // 2 ms: long enough to really wait, short enough for CI
+        spike_every: 0,
+        burst_every: 0,
+        shed_pct: 0,
+        rebuild_fail_every: 0,
+        phase_mask: u16::MAX,
+        ..FaultPlan::default()
+    };
+    let cfg = ServingConfig {
+        workers: 2,
+        phases: 1,
+        virtual_time: false,
+        faults: Some(plan),
+        ..ServingConfig::default()
+    };
+    let server = Server::start(store(n), cfg).expect("start");
+    let ops = 600usize;
+    let tickets: Vec<_> = (0..ops)
+        .map(|i| {
+            let k = format!("com.gmail@user{:06}", (i as u64 * 17) % n).into_bytes();
+            server.submit(Request::get(k), 0).expect("open")
+        })
+        .collect();
+    server.flush();
+    let mut resolved = 0u64;
+    for t in tickets {
+        assert!(t.is_done(), "a ticket was lost under injected stalls");
+        match t.wait() {
+            Response::Get(Some(_)) => resolved += 1,
+            other => panic!("wrong response under stalls: {other:?}"),
+        }
+    }
+    assert_eq!(resolved, ops as u64);
+    let report = server.shutdown();
+    assert_eq!(report.total_ops(), ops as u64);
+    assert_eq!(report.total_rejected(), 0);
+    let stalled: u64 = report.worker_stats.iter().map(|w| w.faults.stalled).sum();
+    assert!(stalled > 0, "the plan must actually have stalled something");
+    assert_eq!(
+        report.telemetry.counter("serving.fault.stalled"),
+        Some(stalled),
+        "stall counter must mirror the tallies"
+    );
+}
+
+/// `Server::start` rejects nonsensical plans up front.
+#[test]
+fn invalid_fault_plans_are_rejected_at_start() {
+    let s = store(100);
+    let base = ServingConfig { workers: 2, ..ServingConfig::default() };
+    let cases = [
+        FaultPlan { degraded_worker: Some(2), ..FaultPlan::default() }, // no such worker
+        FaultPlan { slow_factor: 0, ..FaultPlan::default() },
+        FaultPlan { shed_pct: 101, ..FaultPlan::default() },
+    ];
+    for plan in cases {
+        let cfg = ServingConfig { faults: Some(plan), ..base };
+        match Server::start(Arc::clone(&s), cfg) {
+            Err(StoreError::InvalidConfig { .. }) => {}
+            other => panic!("plan {plan} accepted: {other:?}"),
+        }
+    }
+    // A valid plan (and no plan at all) still starts.
+    for faults in [None, Some(exercised_plan())] {
+        let cfg = ServingConfig { workers: 2, faults, ..ServingConfig::default() };
+        drop(Server::start(Arc::clone(&s), cfg).expect("valid config"));
+    }
+}

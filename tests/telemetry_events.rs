@@ -19,8 +19,9 @@
 
 use std::sync::Arc;
 
+use hope_store::serving::FaultPlan;
 use hope_store::telemetry::{Event, EventKind, EventLog};
-use hope_store::{HopeStore, StoreConfig};
+use hope_store::{HopeStore, StoreConfig, StoreError};
 use proptest::prelude::*;
 
 /// An event whose every payload field is derived from `(writer, i)` — a
@@ -143,6 +144,144 @@ proptest! {
         prop_assert_eq!(swap_ends, rebuilds);
         prop_assert_eq!(tel.events().dropped(), 0);
     }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Overflow under an injected-failure burst, synthetically: an
+    /// interleaved stream of per-shard maintenance episodes — `SwapBegin`
+    /// followed by either `RebuildFailed` (epoch unchanged) or `SwapEnd`
+    /// (epoch stepped) — pushed through a small ring. However the burst
+    /// laps the ring: the drop count is exact, eviction is oldest-first
+    /// (the resident window is precisely the newest tickets), and the
+    /// per-shard epoch chains visible through the window stay monotone.
+    #[test]
+    fn fault_burst_overflow_keeps_drops_exact_and_chains_monotone(
+        capacity in 1usize..12,
+        episodes in proptest::collection::vec((0u32..3, any::<bool>()), 1..48),
+    ) {
+        let log = EventLog::new(capacity);
+        let mut epochs = [1u64, 2, 3]; // per-shard current epoch
+        let mut next_epoch = 4u64;
+        let mut expected: Vec<Event> = Vec::new();
+        let record = |log: &EventLog, expected: &mut Vec<Event>, ev: Event| {
+            log.record(ev);
+            expected.push(Event { seq: expected.len() as u64, ..ev });
+        };
+        for &(shard, fails) in &episodes {
+            let prev = epochs[shard as usize];
+            record(&log, &mut expected, Event {
+                kind: EventKind::SwapBegin,
+                shard,
+                prev_epoch: prev,
+                epoch: prev,
+                ..Event::default()
+            });
+            if fails {
+                record(&log, &mut expected, Event {
+                    kind: EventKind::RebuildFailed,
+                    shard,
+                    prev_epoch: prev,
+                    epoch: prev,
+                    ..Event::default()
+                });
+            } else {
+                epochs[shard as usize] = next_epoch;
+                record(&log, &mut expected, Event {
+                    kind: EventKind::SwapEnd,
+                    shard,
+                    prev_epoch: prev,
+                    epoch: next_epoch,
+                    ..Event::default()
+                });
+                next_epoch += 1;
+            }
+        }
+
+        let total = expected.len() as u64;
+        prop_assert_eq!(log.recorded(), total);
+        prop_assert_eq!(log.dropped(), total.saturating_sub(capacity as u64));
+        let resident = log.snapshot();
+        let lo = total.saturating_sub(capacity as u64) as usize;
+        // Oldest-first eviction: the survivors are exactly the newest
+        // `capacity` events, contents and tickets verbatim.
+        prop_assert_eq!(&resident[..], &expected[lo..]);
+        // And whatever prefix the burst evicted, the chains that remain
+        // visible are still monotone.
+        prop_assert!(epochs_chain(&resident), "drops broke a visible epoch chain");
+    }
+}
+
+/// Overflow under an injected-failure burst, through the real store: a
+/// tiny ring (`event_capacity: 8`), `rebuild_fail_every: 2`, and 20
+/// alternating forced rebuilds. Every count is exact by construction:
+/// 2 `GenerationBuilt` + 20 `SwapBegin` + 10 `RebuildFailed` (attempts
+/// 0,2,4,6,8 per shard) + 10 `SwapEnd` = 42 recorded, so 34 drop and the
+/// resident window is the last four episodes.
+#[test]
+fn store_fault_burst_overflows_ring_with_exact_drop_count() {
+    let pairs = (0..400u64).map(|i| (format!("com.mail@user{i:04}").into_bytes(), i));
+    let cfg = StoreConfig {
+        shards: 2,
+        event_capacity: 8,
+        min_observed_bytes: u64::MAX, // explicit rebuilds only
+        ..StoreConfig::default()
+    };
+    let store = HopeStore::build(cfg, pairs).expect("store build");
+    store.inject_faults(FaultPlan { rebuild_fail_every: 2, ..FaultPlan::default() });
+
+    let mut injected = 0u64;
+    for r in 0..20usize {
+        let shard = r % 2;
+        // Per-shard attempts alternate fail (even) / heal (odd).
+        match store.force_rebuild(shard) {
+            Err(StoreError::FaultInjected { shard: s, attempt }) => {
+                assert_eq!((s, attempt % 2), (shard, 0), "wrong failure at rebuild {r}");
+                injected += 1;
+            }
+            Ok(_) => assert_eq!((r / 2) % 2, 1, "rebuild {r} should have failed"),
+            Err(e) => panic!("real error at rebuild {r}: {e}"),
+        }
+    }
+    assert_eq!(injected, 10);
+
+    let tel = store.telemetry();
+    assert_eq!(tel.counter("store.faults.injected_rebuild_failures"), Some(10));
+    for s in 0..2 {
+        assert_eq!(tel.counter(&format!("store.shard.{s}.rebuild_errors")), Some(5));
+    }
+    // 42 recorded through a ring of 8: exactly 34 dropped, oldest first.
+    assert_eq!(tel.dropped_events, 34);
+    assert_eq!(tel.events.len(), 8);
+    let seqs: Vec<u64> = tel.events.iter().map(|e| e.seq).collect();
+    assert_eq!(seqs, (34..42).collect::<Vec<u64>>());
+    // The resident window is the last four episodes: fail, fail, heal,
+    // heal — in that order.
+    let kinds: Vec<EventKind> = tel.events.iter().map(|e| e.kind).collect();
+    assert_eq!(
+        kinds,
+        vec![
+            EventKind::SwapBegin,
+            EventKind::RebuildFailed,
+            EventKind::SwapBegin,
+            EventKind::RebuildFailed,
+            EventKind::SwapBegin,
+            EventKind::SwapEnd,
+            EventKind::SwapBegin,
+            EventKind::SwapEnd,
+        ]
+    );
+    // Failed rebuilds install nothing; healed ones step the epoch. The
+    // chains that survive the drops are still monotone.
+    for e in &tel.events {
+        match e.kind {
+            EventKind::RebuildFailed | EventKind::SwapBegin => assert_eq!(e.epoch, e.prev_epoch),
+            EventKind::SwapEnd => assert!(e.epoch > e.prev_epoch),
+            _ => {}
+        }
+    }
+    assert!(epochs_chain(&tel.events));
 }
 
 /// Per-shard `swap_end` chain check: epochs strictly increase and each
