@@ -4,7 +4,7 @@
 //!
 //! The ROADMAP's north star is *serving* — not codec microbenches — so
 //! this binary drives the full request pipeline: a thread-per-core
-//! [`Server`] over a sharded [`HopeStore`], fed the
+//! [`Server`] over a sharded [`HopeStore`](hope_store::HopeStore), fed the
 //! `hope_workloads::traffic` mixed stream (70/20/10 get/insert/scan)
 //! whose insert population switches from Email-A to Email-B mid-run, with
 //! a [`Maintainer`] hot-swapping drifted dictionaries under the live
@@ -44,10 +44,14 @@
 use std::sync::Arc;
 use std::time::Instant;
 
+use hope_bench::harness::{
+    build_serving_store, flag_value, json_head, json_phase, phase_bounds, phase_ops_per_sec,
+    serving_config, to_request, PHASE_NAMES,
+};
 use hope_bench::BenchConfig;
-use hope_store::serving::{Request, Server, ServingConfig, ServingReport};
-use hope_store::{HopeStore, Maintainer, StoreConfig};
-use hope_workloads::{MixedWorkload, StoreOp, TrafficSpec};
+use hope_store::serving::{Server, ServingReport};
+use hope_store::Maintainer;
+use hope_workloads::{MixedWorkload, TrafficSpec};
 
 /// Gate: shift-phase p99 must stay within this factor of pre-shift p99
 /// (a hot-swap must not melt the tail; virtual mode sits near 1×).
@@ -60,24 +64,6 @@ const TARGET_VIRTUAL_MOPS: f64 = 0.5;
 /// Producer threads feeding the server (each takes one
 /// `split_across` stream).
 const PRODUCERS: usize = 2;
-
-const PHASE_NAMES: [&str; 3] = ["pre_shift", "shift", "post_shift"];
-
-fn flag_value(cfg: &BenchConfig, flag: &str, default: &str) -> String {
-    cfg.flags
-        .iter()
-        .position(|f| f == flag)
-        .and_then(|i| cfg.flags.get(i + 1).cloned())
-        .unwrap_or_else(|| default.to_string())
-}
-
-fn to_request(op: &StoreOp) -> Request {
-    match op {
-        StoreOp::Get(k) => Request::get(k.clone()),
-        StoreOp::Insert(k, v) => Request::insert(k.clone(), *v),
-        StoreOp::Scan(low, high, limit) => Request::scan(low.clone(), high.clone(), *limit),
-    }
-}
 
 fn main() {
     let cfg = BenchConfig::from_args();
@@ -92,24 +78,10 @@ fn main() {
         if cfg.quick { "virtual-time (deterministic)" } else { "wall-clock" }
     );
     let workload = MixedWorkload::generate(cfg.keys, ops, TrafficSpec::default(), cfg.seed);
-    // Phase windows by global op index: the shift phase covers the 20% of
-    // the run right after the generator's shift point.
-    let shift_end = (workload.shift_at + ops / 5).min(ops);
-    let bounds = [(0, workload.shift_at), (workload.shift_at, shift_end), (shift_end, ops)];
+    let bounds = phase_bounds(&workload);
 
-    // A drift threshold low enough that the quick run's post-shift insert
-    // volume (a few KiB per shard) still triggers detection.
-    let store_cfg = StoreConfig { min_observed_bytes: 1024, ..StoreConfig::default() };
-    let pairs = workload.initial.iter().enumerate().map(|(i, k)| (k.clone(), i as u64));
-    let store = Arc::new(HopeStore::build(store_cfg, pairs).expect("store build"));
-    let serving = ServingConfig {
-        workers: 4,
-        queue_capacity: 1024,
-        batch: 64,
-        phases: 3,
-        virtual_time: cfg.quick,
-        ..ServingConfig::default()
-    };
+    let store = build_serving_store(&workload);
+    let serving = serving_config(cfg.quick);
     let server = Server::start(Arc::clone(&store), serving).expect("server start");
     let streams = workload.split_across(PRODUCERS);
 
@@ -153,7 +125,7 @@ fn main() {
     let report = server.shutdown();
     assert!(log.errors.is_empty(), "maintenance rebuild errors: {:?}", log.errors);
 
-    print_report(&cfg, &report, &wall_ns);
+    print_report(&report, &wall_ns);
 
     // Gates.
     let completed = report.total_ops();
@@ -169,18 +141,14 @@ fn main() {
     let vmops_ok = !cfg.quick || vmops >= TARGET_VIRTUAL_MOPS;
     let pass = exactly_once && errors == 0 && swap_in_shift && p99_ok && vmops_ok;
 
-    for p in 0..3 {
+    for (p, name) in PHASE_NAMES.iter().enumerate() {
         let ph = &report.phases[p];
         let (p50, p99, p999) = ph.latency.slo_points();
-        let ops_per_sec = if cfg.quick {
-            ph.virtual_ops_per_sec()
-        } else {
-            ph.ops as f64 * 1e9 / wall_ns[p].max(1) as f64
-        };
+        let ops_per_sec = phase_ops_per_sec(&report, p, &wall_ns);
         println!(
             "DIGEST phase={} ops={} gets={} inserts={} scans={} errors={} \
              p50={p50}ns p99={p99}ns p999={p999}ns kops={:.1}",
-            PHASE_NAMES[p],
+            name,
             ph.ops,
             ph.gets,
             ph.inserts,
@@ -223,7 +191,7 @@ fn main() {
     }
 }
 
-fn print_report(cfg: &BenchConfig, report: &ServingReport, wall_ns: &[u64; 3]) {
+fn print_report(report: &ServingReport, wall_ns: &[u64; 3]) {
     println!("\n# {} workers, queue {} × {}, batch {}", report.workers, report.workers, 1024, 64);
     println!(
         "{:11} {:>9} {:>8} {:>8} {:>7} {:>10} {:>10} {:>10} {:>11}",
@@ -231,11 +199,7 @@ fn print_report(cfg: &BenchConfig, report: &ServingReport, wall_ns: &[u64; 3]) {
     );
     for (p, ph) in report.phases.iter().enumerate() {
         let (p50, p99, p999) = ph.latency.slo_points();
-        let ops_per_sec = if cfg.quick {
-            ph.virtual_ops_per_sec()
-        } else {
-            ph.ops as f64 * 1e9 / wall_ns[p].max(1) as f64
-        };
+        let ops_per_sec = phase_ops_per_sec(report, p, wall_ns);
         println!(
             "{:11} {:>9} {:>8} {:>8} {:>7} {:>8}ns {:>8}ns {:>8}ns {:>11.0}",
             PHASE_NAMES[p], ph.ops, ph.gets, ph.inserts, ph.scans, p50, p99, p999, ops_per_sec
@@ -263,13 +227,7 @@ fn write_json(
     pass: bool,
 ) {
     let mut s = String::new();
-    s.push_str("{\n");
-    s.push_str("  \"bench\": \"fig18_serving_slo\",\n  \"dataset\": \"email-mixed-traffic\",\n");
-    s.push_str(&format!(
-        "  \"keys\": {},\n  \"ops\": {},\n  \"seed\": {},\n",
-        cfg.keys, ops, cfg.seed
-    ));
-    s.push_str(&format!("  \"quick\": {},\n", cfg.quick));
+    json_head(&mut s, "fig18_serving_slo", cfg, ops);
     s.push_str(&format!(
         "  \"mode\": \"{}\",\n",
         if report.virtual_time { "virtual" } else { "wall" }
@@ -283,33 +241,9 @@ fn write_json(
     s.push_str(&format!("  \"swap_in_shift\": {swap_in_shift},\n"));
     s.push_str(&format!("  \"pass\": {pass},\n"));
     s.push_str("  \"units\": \"ns\",\n  \"phases\": [\n");
-    for (p, ph) in report.phases.iter().enumerate() {
-        let (p50, p99, p999) = ph.latency.slo_points();
-        let ops_per_sec = if report.virtual_time {
-            ph.virtual_ops_per_sec()
-        } else {
-            ph.ops as f64 * 1e9 / wall_ns[p].max(1) as f64
-        };
-        s.push_str(&format!(
-            "    {{\"phase\": \"{}\", \"ops\": {}, \"gets\": {}, \"inserts\": {}, \
-             \"scans\": {}, \"scan_hits\": {}, \"errors\": {}, \"p50_ns\": {}, \
-             \"p99_ns\": {}, \"p999_ns\": {}, \"mean_ns\": {:.1}, \"max_ns\": {}, \
-             \"ops_per_sec\": {:.0}}}{}\n",
-            PHASE_NAMES[p],
-            ph.ops,
-            ph.gets,
-            ph.inserts,
-            ph.scans,
-            ph.scan_hits,
-            ph.errors,
-            p50,
-            p99,
-            p999,
-            ph.latency.mean_ns(),
-            ph.latency.max_ns(),
-            ops_per_sec,
-            if p + 1 < report.phases.len() { "," } else { "" },
-        ));
+    for p in 0..report.phases.len() {
+        let ops_per_sec = phase_ops_per_sec(report, p, wall_ns);
+        json_phase(&mut s, report, p, ops_per_sec, p + 1 == report.phases.len());
     }
     s.push_str("  ]\n}\n");
     std::fs::write(path, s).expect("write BENCH_serving.json");

@@ -111,6 +111,7 @@ fn main() {
         virtual_time: cfg.quick,
         trace_sample_every: TRACE_EVERY,
         faults: None,
+        admission: None,
     };
     let server = Server::start(Arc::clone(&store), serving).expect("server start");
     let streams = workload.split_across(PRODUCERS);

@@ -44,16 +44,16 @@
 //! Usage: `cargo run --release -p hope_bench --bin fig20_fault_slo
 //!         [-- --keys N --queries N --seed N --quick --out PATH]`
 
-use std::sync::Arc;
 use std::time::Instant;
 
-use hope_bench::BenchConfig;
-use hope_store::serving::{
-    FaultPlan, LatencyHistogram, Request, Server, ServingConfig, ServingReport,
+use hope_bench::harness::{
+    build_serving_store, flag_value, phase_bounds, serving_config, to_request, PHASE_NAMES,
 };
+use hope_bench::BenchConfig;
+use hope_store::serving::{FaultPlan, LatencyHistogram, Server, ServingConfig, ServingReport};
 use hope_store::telemetry::EventKind;
-use hope_store::{HopeStore, StoreConfig, StoreError};
-use hope_workloads::{MixedWorkload, StoreOp, TrafficSpec};
+use hope_store::StoreError;
+use hope_workloads::{MixedWorkload, TrafficSpec};
 
 /// Gate (a): healthy-worker p999 in the faulted run must stay within
 /// this factor of the no-fault baseline p999.
@@ -75,24 +75,6 @@ const TICKET_SAMPLE: usize = 64;
 /// `rebuild_fail_every = 2`, so two is already generous).
 const MAX_HEAL_PASSES: usize = 4;
 
-const PHASE_NAMES: [&str; 3] = ["pre_shift", "shift", "post_shift"];
-
-fn flag_value(cfg: &BenchConfig, flag: &str, default: &str) -> String {
-    cfg.flags
-        .iter()
-        .position(|f| f == flag)
-        .and_then(|i| cfg.flags.get(i + 1).cloned())
-        .unwrap_or_else(|| default.to_string())
-}
-
-fn to_request(op: &StoreOp) -> Request {
-    match op {
-        StoreOp::Get(k) => Request::get(k.clone()),
-        StoreOp::Insert(k, v) => Request::insert(k.clone(), *v),
-        StoreOp::Scan(low, high, limit) => Request::scan(low.clone(), high.clone(), *limit),
-    }
-}
-
 /// Everything one pass (baseline or faulted) produced.
 struct PassOutcome {
     report: ServingReport,
@@ -111,29 +93,13 @@ struct PassOutcome {
 /// looping until clean) so rebuild attempts happen in a deterministic
 /// order.
 fn run_pass(cfg: &BenchConfig, workload: &MixedWorkload, plan: Option<FaultPlan>) -> PassOutcome {
-    let ops = workload.ops.len();
-    let shift_end = (workload.shift_at + ops / 5).min(ops);
-    let bounds = [(0, workload.shift_at), (workload.shift_at, shift_end), (shift_end, ops)];
-
-    // Low drift threshold so the quick run still triggers detection; a
-    // deep event ring so gate (c) counts events without overflow.
-    let store_cfg =
-        StoreConfig { min_observed_bytes: 1024, event_capacity: 4096, ..StoreConfig::default() };
-    let pairs = workload.initial.iter().enumerate().map(|(i, k)| (k.clone(), i as u64));
-    let store = Arc::new(HopeStore::build(store_cfg, pairs).expect("store build"));
+    let bounds = phase_bounds(workload);
+    let store = build_serving_store(workload);
     if let Some(p) = plan {
         store.inject_faults(p);
     }
-    let serving = ServingConfig {
-        workers: WORKERS,
-        queue_capacity: 1024,
-        batch: 64,
-        phases: 3,
-        virtual_time: cfg.quick,
-        faults: plan,
-        ..ServingConfig::default()
-    };
-    let server = Server::start(Arc::clone(&store), serving).expect("server start");
+    let serving = ServingConfig { faults: plan, ..serving_config(cfg.quick) };
+    let server = Server::start(std::sync::Arc::clone(&store), serving).expect("server start");
 
     let mut wall_ns = [0u64; 3];
     let mut submitted = 0u64;

@@ -15,11 +15,18 @@
 //! | `fig16_tree_range_insert` | Fig 16 / Appendix D (range + insert, 4 trees) |
 //! | `fig17_store_shift` | Extension: `hope_store` dictionary hot-swap under shift |
 //! | `fig18_serving_slo` | Extension: thread-per-core serving harness SLOs → `BENCH_serving.json` |
+//! | `fig19_telemetry` | Extension: telemetry registry / event-ring audit → `BENCH_telemetry.json` |
+//! | `fig20_fault_slo` | Extension: fault-injection drill, bounded degradation → `BENCH_faults.json` |
+//! | `fig21_adaptive_slo` | Extension: closed-loop adaptive admission drill → `BENCH_admission.json` |
 //!
 //! Every binary accepts `--keys N`, `--queries N`, `--seed N` and
 //! `--quick`; run with `cargo run --release -p hope_bench --bin <name>`.
+//! The serving benches (fig18/20/21) share their traffic/server/report
+//! setup through [`harness`].
 
 #![warn(missing_docs)]
+
+pub mod harness;
 
 use std::time::{Duration, Instant};
 

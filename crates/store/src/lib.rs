@@ -807,8 +807,9 @@ impl Drop for Maintainer {
 /// One-stop import for the store's v1 public API.
 pub mod prelude {
     pub use crate::serving::{
-        FaultAction, FaultPlan, FaultTally, Request, Response, Server, ServingConfig,
-        ServingReport, Ticket, WorkerStats,
+        AdmissionConfig, AdmissionController, AdmissionDecision, AdmissionReport, FaultAction,
+        FaultPlan, FaultTally, Request, Response, Server, ServingConfig, ServingReport, Ticket,
+        WorkerStats,
     };
     pub use crate::telemetry::{
         Event, EventKind, EventLog, HistogramSummary, LatencyHistogram, MetricsRegistry,

@@ -64,8 +64,9 @@ const SALT_PICK: u64 = 0x5049_434B;
 
 /// SplitMix64-style finalizer over the decision coordinates. Pure; the
 /// whole determinism story rests on this taking nothing but its
-/// arguments.
-fn mix(seed: u64, worker: u64, index: u64, phase: u64, salt: u64) -> u64 {
+/// arguments. Shared with the admission controller's shed draw (same
+/// determinism contract, disjoint salts).
+pub(crate) fn mix(seed: u64, worker: u64, index: u64, phase: u64, salt: u64) -> u64 {
     let mut z = seed
         .wrapping_add(worker.wrapping_mul(0x9E37_79B9_7F4A_7C15))
         .wrapping_add(index.wrapping_mul(0xBF58_476D_1CE4_E5B9))

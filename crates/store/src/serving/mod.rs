@@ -59,6 +59,7 @@
 //! # Ok::<(), StoreError>(())
 //! ```
 
+pub mod admission;
 pub mod faults;
 pub mod metrics;
 pub mod queue;
@@ -73,11 +74,12 @@ use hope::Value;
 use crate::error::StoreError;
 use crate::HopeStore;
 
+pub use admission::{AdmissionConfig, AdmissionController, AdmissionDecision, AdmissionReport};
 pub use faults::{FaultAction, FaultPlan, FaultTally, ParseFaultPlanError};
 pub use metrics::LatencyHistogram;
 pub use queue::{QueueCounters, QueueStats, RejectReason};
 
-use crate::telemetry::{Counter, TelemetrySnapshot};
+use crate::telemetry::{Counter, Event, EventKind, Gauge, Telemetry, TelemetrySnapshot};
 use queue::BoundedQueue;
 
 /// Serving-pipeline parameters ([`Server::start`]).
@@ -105,6 +107,13 @@ pub struct ServingConfig {
     /// degraded-mode shed hook at admission. `None` (the default)
     /// injects nothing and costs one branch per request.
     pub faults: Option<FaultPlan>,
+    /// Closed-loop adaptive admission control (see [`admission`]): a
+    /// per-worker controller watches windowed latency at admission,
+    /// detects a degrading worker against its peers, and autonomously
+    /// sheds a graduated fraction of its traffic to healthy workers —
+    /// no plan-driven `shed_pct` needed. `None` (the default) disables
+    /// the loop entirely.
+    pub admission: Option<AdmissionConfig>,
 }
 
 impl Default for ServingConfig {
@@ -117,6 +126,7 @@ impl Default for ServingConfig {
             virtual_time: false,
             trace_sample_every: 0,
             faults: None,
+            admission: None,
         }
     }
 }
@@ -300,12 +310,58 @@ pub fn virtual_cost<V: Value>(req: &Request<V>) -> u64 {
     }
 }
 
+/// The admission controller plus its telemetry handles, as wired into
+/// [`Shared`]. The controller itself lives behind a mutex: admission
+/// takes it once per request (the fast path is a window check), workers
+/// take it once per *batch* in wall mode to feed observations.
+#[derive(Debug)]
+pub(crate) struct AdmissionHook {
+    pub ctl: Mutex<AdmissionController>,
+    /// `serving.admission.engage` — shed-level raises.
+    engage: Counter,
+    /// `serving.admission.release` — shed-level drops.
+    release: Counter,
+    /// `serving.admission.shed` — requests rerouted by the controller.
+    shed: Counter,
+    /// `serving.admission.windows` — windows sealed (controller clock).
+    windows: Gauge,
+    /// `serving.admission.level.{w}` — current shed level per worker.
+    levels: Vec<Gauge>,
+}
+
+impl AdmissionHook {
+    /// Mirror one controller decision into the metrics registry and the
+    /// event ring — every autonomous shed-level change is attributable
+    /// from telemetry alone, exactly like injected faults are.
+    fn note_decision(&self, d: &AdmissionDecision, tel: &Telemetry) {
+        let kind =
+            if d.is_engage() { EventKind::AdmissionEngage } else { EventKind::AdmissionRelease };
+        if d.is_engage() {
+            self.engage.inc();
+        } else {
+            self.release.inc();
+        }
+        self.levels[d.worker].set(u64::from(d.to_pct));
+        tel.events().record(Event {
+            kind,
+            shard: d.worker as u32,
+            prev_epoch: u64::from(d.from_pct),
+            epoch: u64::from(d.to_pct),
+            keys: d.window,
+            bytes: d.ratio_x1000,
+            ..Event::default()
+        });
+    }
+}
+
 /// State shared between the submitters and the worker threads.
 #[derive(Debug)]
 pub(crate) struct Shared<V: Value> {
     pub store: Arc<HopeStore<V>>,
     pub queues: Vec<BoundedQueue<Envelope<V>>>,
     pub cfg: ServingConfig,
+    /// Closed-loop admission control, when configured.
+    pub admission: Option<AdmissionHook>,
     /// Requests admitted (incremented before the push so `completed`
     /// can never observably exceed it).
     admitted: AtomicU64,
@@ -410,6 +466,10 @@ pub struct ServingReport {
     pub workers: usize,
     /// Requests the degraded-mode hook shed to a healthy worker.
     pub rerouted: u64,
+    /// What the adaptive admission controller did, when one was
+    /// configured: windows sealed, requests shed, every shed-level
+    /// decision, final levels.
+    pub admission: Option<AdmissionReport>,
     /// Whether latencies are virtual (deterministic) or wall-clock.
     pub virtual_time: bool,
     /// Store-wide telemetry at shutdown: registered metrics (including
@@ -477,6 +537,22 @@ impl<V: Value> Server<V> {
             }
         }
         let registry_handle = store.telemetry_handle();
+        let admission = match cfg.admission {
+            Some(ac) => {
+                let reg = registry_handle.registry();
+                Some(AdmissionHook {
+                    ctl: Mutex::new(AdmissionController::new(ac, cfg.workers)?),
+                    engage: reg.counter("serving.admission.engage"),
+                    release: reg.counter("serving.admission.release"),
+                    shed: reg.counter("serving.admission.shed"),
+                    windows: reg.gauge("serving.admission.windows"),
+                    levels: (0..cfg.workers)
+                        .map(|w| reg.gauge(&format!("serving.admission.level.{w}")))
+                        .collect(),
+                })
+            }
+            None => None,
+        };
         let queues = (0..cfg.workers)
             .map(|i| {
                 let counters = QueueCounters::register(registry_handle.registry(), i);
@@ -492,6 +568,7 @@ impl<V: Value> Server<V> {
             store,
             queues,
             cfg,
+            admission,
             admitted: AtomicU64::new(0),
             completed: AtomicU64::new(0),
             rerouted,
@@ -537,15 +614,57 @@ impl<V: Value> Server<V> {
     }
 
     fn push(&self, mut env: Envelope<V>, blocking: bool) -> Result<Option<Ticket<V>>, Rejected<V>> {
-        let mut worker =
-            self.shared.store.shard_of(env.req.routing_key()) % self.shared.cfg.workers;
+        let home = self.shared.store.shard_of(env.req.routing_key()) % self.shared.cfg.workers;
+        let mut worker = home;
         let ticket = env.ticket.as_ref().map(|t| Ticket(Arc::clone(t)));
         let index = self.shared.admitted.fetch_add(1, Ordering::Relaxed);
         env.index = index;
+        let mut plan_rerouted = false;
         if let Some(plan) = &self.shared.cfg.faults {
-            if let Some(alt) = plan.reroute(worker, index, env.phase, self.shared.cfg.workers) {
+            if let Some(alt) = plan.reroute(home, index, env.phase, self.shared.cfg.workers) {
                 worker = alt;
+                plan_rerouted = true;
                 self.shared.rerouted.inc();
+            }
+        }
+        if let Some(hook) = &self.shared.admission {
+            let mut ctl = hook.ctl.lock().unwrap_or_else(PoisonError::into_inner);
+            // Seal windows the stream has crossed (and judge the workers)
+            // *before* this request's own shed draw: the draw always uses
+            // fully-sealed evidence, which keeps every decision a pure
+            // function of (window snapshot, config, index).
+            let decisions = ctl.advance(index);
+            if self.shared.cfg.virtual_time {
+                // The virtual-mode sensor: observe what this request
+                // *would* cost on its home worker, sick or not. Recorded
+                // at admission — the single producer makes the window
+                // binning deterministic — and it keeps probing a fully
+                // shed worker, so the controller can see it heal.
+                let action = self
+                    .shared
+                    .cfg
+                    .faults
+                    .map(|p| p.action(home, index, env.phase))
+                    .unwrap_or_default();
+                let cost = virtual_cost(&env.req) * action.slow_factor.max(1) + action.extra_ns();
+                ctl.observe(home, cost);
+            }
+            // The plan's static reroute (when configured) wins: a request
+            // is rerouted at most once, by exactly one mechanism.
+            let shed_to = if plan_rerouted { None } else { ctl.shed(home, index) };
+            let windows = ctl.windows_sealed();
+            drop(ctl);
+            hook.windows.set(windows);
+            if !decisions.is_empty() {
+                let tel = self.shared.store.telemetry_handle();
+                for d in &decisions {
+                    hook.note_decision(d, &tel);
+                }
+            }
+            if let Some(alt) = shed_to {
+                worker = alt;
+                hook.shed.inc();
+                self.shared.queues[home].note_shed_away();
             }
         }
         let queue = &self.shared.queues[worker];
@@ -652,6 +771,11 @@ impl<V: Value> Server<V> {
             queues: self.shared.queues.iter().map(|q| q.stats()).collect(),
             workers: cfg.workers,
             rerouted: self.shared.rerouted.get(),
+            admission: self
+                .shared
+                .admission
+                .as_ref()
+                .map(|h| h.ctl.lock().unwrap_or_else(PoisonError::into_inner).report()),
             virtual_time: cfg.virtual_time,
             telemetry: self.shared.store.telemetry(),
         }

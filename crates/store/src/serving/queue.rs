@@ -36,6 +36,9 @@ pub struct QueueCounters {
     pub batches: Counter,
     /// Deepest backlog ever observed at admission time.
     pub peak_depth: Gauge,
+    /// Requests homed on this queue's worker that the adaptive admission
+    /// controller rerouted to a healthy peer instead.
+    pub shed_away: Counter,
 }
 
 impl QueueCounters {
@@ -51,6 +54,7 @@ impl QueueCounters {
             rejected: reg.counter(&format!("serving.worker.{worker}.rejected")),
             batches: reg.counter(&format!("serving.worker.{worker}.batches")),
             peak_depth: reg.gauge(&format!("serving.worker.{worker}.queue_depth_peak")),
+            shed_away: reg.counter(&format!("serving.worker.{worker}.shed_away")),
         }
     }
 }
@@ -97,6 +101,8 @@ pub struct QueueStats {
     pub batches: u64,
     /// Deepest backlog observed at admission time.
     pub peak_depth: u64,
+    /// Requests homed here that adaptive admission shed to a peer.
+    pub shed_away: u64,
 }
 
 impl<T> BoundedQueue<T> {
@@ -197,6 +203,12 @@ impl<T> BoundedQueue<T> {
         self.lock().items.len()
     }
 
+    /// Note a request homed on this queue's worker that adaptive
+    /// admission rerouted to a peer (it never entered this queue).
+    pub fn note_shed_away(&self) {
+        self.counters.shed_away.inc();
+    }
+
     /// Counters snapshot.
     pub fn stats(&self) -> QueueStats {
         QueueStats {
@@ -204,6 +216,7 @@ impl<T> BoundedQueue<T> {
             rejected: self.counters.rejected.get(),
             batches: self.counters.batches.get(),
             peak_depth: self.counters.peak_depth.get(),
+            shed_away: self.counters.shed_away.get(),
         }
     }
 }

@@ -17,7 +17,7 @@
 //! runs); in wall mode the worker actually waits the injected time out,
 //! so wall-clock SLO gates see real degradation.
 
-use std::sync::Arc;
+use std::sync::{Arc, PoisonError};
 use std::time::{Duration, Instant};
 
 use hope::Value;
@@ -171,6 +171,16 @@ pub(crate) fn run<V: Value>(i: usize, shared: Arc<Shared<V>>) -> WorkerOutput {
     let mut tally = FaultTally::default();
     let mut phases: Vec<PhaseAccum> = (0..cfg.phases).map(|_| PhaseAccum::new()).collect();
     let mut batch: Vec<Envelope<V>> = Vec::with_capacity(cfg.batch);
+    // Wall-mode admission feedback: the controller's sensor is the real
+    // *service* time of the requests this worker executed (execution +
+    // injected penalties, queue wait excluded — under a saturating
+    // producer queue wait measures arrival pressure, not worker health,
+    // and would trip the loop on routing imbalance alone), fed back one
+    // batch at a time (one controller lock per batch, not per request).
+    // Virtual mode observes at admission instead — that path is
+    // deterministic, this one is a live feedback loop.
+    let feedback = (!cfg.virtual_time).then_some(()).and(shared.admission.as_ref());
+    let mut observed: Vec<u64> = Vec::new();
     // `pop_batch` returns false only when the queue is closed *and*
     // drained, so every admitted request is executed — never dropped.
     while shared.queues[i].pop_batch(&mut batch, cfg.batch) {
@@ -210,6 +220,17 @@ pub(crate) fn run<V: Value>(i: usize, shared: Arc<Shared<V>>) -> WorkerOutput {
             acc.ops += 1;
             acc.busy_ns += service_ns;
             acc.latency.record(latency_ns);
+            if feedback.is_some() {
+                observed.push(service_ns);
+            }
+        }
+        if let Some(hook) = feedback {
+            let mut ctl = hook.ctl.lock().unwrap_or_else(PoisonError::into_inner);
+            for &ns in &observed {
+                ctl.observe(i, ns);
+            }
+            drop(ctl);
+            observed.clear();
         }
         shared.note_completed(n);
     }

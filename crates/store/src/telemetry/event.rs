@@ -43,6 +43,14 @@ pub enum EventKind {
     SwapEnd,
     /// A rebuild failed; the shard keeps serving `prev_epoch`.
     RebuildFailed,
+    /// The admission controller raised a worker's shed level. The packed
+    /// fields are repurposed: `shard` = worker, `prev_epoch`/`epoch` =
+    /// from/to shed percent, `keys` = the sealed window, `bytes` = the
+    /// window's p99 ratio ×1000.
+    AdmissionEngage,
+    /// The admission controller lowered a worker's shed level (same
+    /// field repurposing as [`EventKind::AdmissionEngage`]).
+    AdmissionRelease,
 }
 
 impl EventKind {
@@ -52,6 +60,8 @@ impl EventKind {
             EventKind::SwapBegin => 1,
             EventKind::SwapEnd => 2,
             EventKind::RebuildFailed => 3,
+            EventKind::AdmissionEngage => 4,
+            EventKind::AdmissionRelease => 5,
         }
     }
 
@@ -61,6 +71,8 @@ impl EventKind {
             1 => Some(EventKind::SwapBegin),
             2 => Some(EventKind::SwapEnd),
             3 => Some(EventKind::RebuildFailed),
+            4 => Some(EventKind::AdmissionEngage),
+            5 => Some(EventKind::AdmissionRelease),
             _ => None,
         }
     }
@@ -72,6 +84,8 @@ impl EventKind {
             EventKind::SwapBegin => "swap_begin",
             EventKind::SwapEnd => "swap_end",
             EventKind::RebuildFailed => "rebuild_failed",
+            EventKind::AdmissionEngage => "admission_engage",
+            EventKind::AdmissionRelease => "admission_release",
         }
     }
 }

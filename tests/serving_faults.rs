@@ -1,11 +1,18 @@
 //! Integration suite for the serving-side fault-injection layer
 //! (`hope_store::serving::faults`): determinism of virtual-time runs
 //! under an active plan, the degraded-mode shed hook, wall-mode stalls
-//! vs the exactly-once completion guarantee, and config validation.
+//! vs the exactly-once completion guarantee, and config validation —
+//! plus the adaptive-admission variants: the controller against a
+//! fully-degraded worker, against a wall-mode stall storm, and against
+//! mid-drill rebuild failures, each holding exactly-once and full
+//! telemetry attribution of every controller decision.
 
 use std::sync::Arc;
 
-use hope_store::serving::{FaultPlan, Request, Response, Server, ServingConfig, ServingReport};
+use hope_store::serving::{
+    AdmissionConfig, FaultPlan, Request, Response, Server, ServingConfig, ServingReport,
+};
+use hope_store::telemetry::EventKind;
 use hope_store::{HopeStore, StoreConfig, StoreError};
 
 fn store(n: u64) -> Arc<HopeStore<u64>> {
@@ -224,6 +231,230 @@ fn wall_mode_stalls_do_not_lose_tickets() {
         Some(stalled),
         "stall counter must mirror the tallies"
     );
+}
+
+/// Assert the full attribution chain for a controller-on run: the
+/// report, the `serving.admission.*` counters, the per-queue `shed_away`
+/// tallies and the event log must all tell the same story, and no
+/// request may have been rerouted by both mechanisms.
+fn assert_admission_attribution(report: &ServingReport) {
+    let adm = report.admission.as_ref().expect("controller-on run must report");
+    assert_eq!(
+        report.telemetry.counter("serving.admission.shed"),
+        Some(adm.shed),
+        "shed counter must mirror the report"
+    );
+    assert_eq!(
+        report.telemetry.counter("serving.admission.engage"),
+        Some(adm.engages()),
+        "engage counter must mirror the decisions"
+    );
+    assert_eq!(
+        report.telemetry.counter("serving.admission.release"),
+        Some(adm.releases()),
+        "release counter must mirror the decisions"
+    );
+    assert_eq!(
+        report.queues.iter().map(|q| q.shed_away).sum::<u64>(),
+        adm.shed,
+        "per-queue shed_away tallies must sum to the shed count"
+    );
+    // Every decision is attributed in the event log, field for field
+    // (shard=worker, prev_epoch/epoch=levels, keys=window, bytes=ratio),
+    // in decision order.
+    let events: Vec<_> = report
+        .telemetry
+        .events_of(EventKind::AdmissionEngage)
+        .chain(report.telemetry.events_of(EventKind::AdmissionRelease))
+        .collect();
+    assert_eq!(events.len(), adm.decisions.len(), "every decision must be logged");
+    let mut logged: Vec<_> = events
+        .iter()
+        .map(|e| (e.keys, e.shard as usize, e.prev_epoch as u8, e.epoch as u8, e.bytes))
+        .collect();
+    logged.sort_unstable();
+    let mut decided: Vec<_> = adm
+        .decisions
+        .iter()
+        .map(|d| (d.window, d.worker, d.from_pct, d.to_pct, d.ratio_x1000))
+        .collect();
+    decided.sort_unstable();
+    assert_eq!(logged, decided, "event fields must match the decisions");
+}
+
+/// The controller against the fig20 sickness at full strength, with no
+/// plan-driven shedding to lean on: it must engage on the sick worker,
+/// shed real traffic to healthy peers, keep every request exactly-once
+/// — and every decision must be attributable through the telemetry.
+#[test]
+fn controller_sheds_a_fully_degraded_worker_exactly_once() {
+    let n = 4_000u64;
+    let plan = FaultPlan { shed_pct: 0, ..exercised_plan() };
+    let admission =
+        AdmissionConfig { window: 256, min_window_ops: 16, seed: 99, ..AdmissionConfig::default() };
+    let cfg = ServingConfig {
+        workers: 4,
+        phases: 3,
+        virtual_time: true,
+        faults: Some(plan),
+        admission: Some(admission),
+        ..ServingConfig::default()
+    };
+    let server = Server::start(store(n), cfg).expect("start");
+    let submitted = drive(&server, n, 6_000);
+    let report = server.shutdown();
+
+    assert_eq!(report.total_ops(), submitted);
+    assert_eq!(report.total_rejected(), 0);
+    assert_eq!(report.rerouted, 0, "plan shed is off: only the controller may reroute");
+
+    let adm = report.admission.as_ref().unwrap();
+    assert!(
+        adm.decisions.iter().any(|d| d.is_engage() && d.worker == 1),
+        "controller never engaged on the sick worker: {:?}",
+        adm.decisions
+    );
+    assert!(adm.shed > 0, "an engaged controller must shed traffic");
+    // The shed cap keeps probe traffic flowing to the sick worker, and
+    // shed requests complete on healthy peers — nothing is dropped.
+    assert!(report.worker_stats[1].ops > 0, "capped shed must leave probe traffic");
+    assert_eq!(report.worker_stats.iter().map(|w| w.ops).sum::<u64>(), submitted);
+    assert_admission_attribution(&report);
+
+    // The whole drill is deterministic: a second identical run agrees
+    // decision for decision.
+    let server = Server::start(store(n), cfg).expect("start");
+    drive(&server, n, 6_000);
+    let again = server.shutdown();
+    assert_eq!(again.admission.as_ref().unwrap(), adm);
+    assert_eq!(observe(&again), observe(&report));
+}
+
+/// A wall-clock stall storm with the controller in the loop: real
+/// multi-millisecond stalls, real thread timing. Engagement is up to
+/// the machine, but exactly-once completion and attribution are not.
+#[test]
+fn wall_mode_stall_storm_with_controller_keeps_exactly_once() {
+    let n = 2_000u64;
+    let plan = FaultPlan {
+        seed: 7,
+        degraded_worker: Some(1),
+        slow_factor: 2,
+        stall_every: 8,
+        stall_ns: 2_000_000,
+        spike_every: 0,
+        burst_every: 0,
+        shed_pct: 0,
+        rebuild_fail_every: 0,
+        phase_mask: u16::MAX,
+        ..FaultPlan::default()
+    };
+    let admission =
+        AdmissionConfig { window: 128, min_window_ops: 8, seed: 7, ..AdmissionConfig::default() };
+    let cfg = ServingConfig {
+        workers: 2,
+        phases: 1,
+        virtual_time: false,
+        faults: Some(plan),
+        admission: Some(admission),
+        ..ServingConfig::default()
+    };
+    let server = Server::start(store(n), cfg).expect("start");
+    let ops = 600usize;
+    let tickets: Vec<_> = (0..ops)
+        .map(|i| {
+            let k = format!("com.gmail@user{:06}", (i as u64 * 17) % n).into_bytes();
+            server.submit(Request::get(k), 0).expect("open")
+        })
+        .collect();
+    server.flush();
+    for t in &tickets {
+        assert!(t.is_done(), "a ticket was lost under stalls with the controller on");
+    }
+    let report = server.shutdown();
+    assert_eq!(report.total_ops(), ops as u64);
+    assert_eq!(report.total_rejected(), 0);
+    assert_eq!(report.rerouted, 0);
+    assert!(report.worker_stats.iter().map(|w| w.faults.stalled).sum::<u64>() > 0);
+    assert_admission_attribution(&report);
+}
+
+/// Mid-drill rebuild failures must not disturb the admission loop: the
+/// serving path keeps exactly-once while `maintain()` takes injected
+/// failures and heals on retry, and the controller's accounting stays
+/// fully attributed throughout.
+#[test]
+fn rebuild_failures_mid_drill_leave_the_controller_consistent() {
+    use hope_bench::harness::{build_serving_store, phase_bounds, serving_config, to_request};
+    use hope_workloads::{MixedWorkload, TrafficSpec};
+
+    let workload = MixedWorkload::generate(4_000, 6_000, TrafficSpec::default(), 42);
+    let plan = FaultPlan {
+        seed: 42,
+        degraded_worker: Some(1),
+        slow_factor: 10,
+        stall_every: 97,
+        stall_ns: 50_000,
+        shed_pct: 0,
+        rebuild_fail_every: 2,
+        phase_mask: u16::MAX,
+        ..FaultPlan::default()
+    };
+    let store = build_serving_store(&workload);
+    store.inject_faults(plan);
+    let serving = ServingConfig {
+        faults: Some(plan),
+        admission: Some(AdmissionConfig::quick(42)),
+        ..serving_config(true)
+    };
+    let server = Server::start(Arc::clone(&store), serving).expect("start");
+
+    let mut submitted = 0u64;
+    let mut injected = 0u64;
+    let mut healed = false;
+    for (phase, &(lo, hi)) in phase_bounds(&workload).iter().enumerate() {
+        for op in &workload.ops[lo..hi] {
+            server.submit_detached(to_request(op), phase).expect("open");
+        }
+        server.flush();
+        submitted += (hi - lo) as u64;
+        if phase == 0 {
+            continue;
+        }
+        // Maintenance under live traffic: `rebuild_fail_every: 2` fails
+        // every other attempt, so a bounded retry loop must land clean.
+        for _ in 0..4 {
+            let (_, errors) = store.maintain();
+            healed = errors.is_empty();
+            for (shard, e) in errors {
+                assert!(
+                    matches!(e, StoreError::FaultInjected { .. }),
+                    "real rebuild error on shard {shard}: {e}"
+                );
+                injected += 1;
+            }
+            if healed {
+                break;
+            }
+        }
+    }
+    assert!(injected > 0, "the plan must actually have failed a rebuild");
+    assert!(healed, "rebuilds must heal on retry");
+    assert_eq!(
+        store.telemetry().counter("store.faults.injected_rebuild_failures"),
+        Some(injected),
+        "injected-failure counter must mirror the observed errors"
+    );
+
+    let report = server.shutdown();
+    assert_eq!(report.total_ops(), submitted);
+    assert_eq!(report.total_rejected(), 0);
+    let adm = report.admission.as_ref().unwrap();
+    assert!(
+        adm.decisions.iter().any(|d| d.is_engage() && d.worker == 1),
+        "controller must still engage under maintenance churn"
+    );
+    assert_admission_attribution(&report);
 }
 
 /// `Server::start` rejects nonsensical plans up front.
