@@ -18,6 +18,7 @@
 //! | `fig19_telemetry` | Extension: telemetry registry / event-ring audit → `BENCH_telemetry.json` |
 //! | `fig20_fault_slo` | Extension: fault-injection drill, bounded degradation → `BENCH_faults.json` |
 //! | `fig21_adaptive_slo` | Extension: closed-loop adaptive admission drill → `BENCH_admission.json` |
+//! | `fig22_snapshot_rebuild` | Extension: O(1) snapshots + incremental merge rebuild → `BENCH_snapshot.json` |
 //!
 //! Every binary accepts `--keys N`, `--queries N`, `--seed N` and
 //! `--quick`; run with `cargo run --release -p hope_bench --bin <name>`.

@@ -335,6 +335,18 @@ impl Hope {
         &self.encoder
     }
 
+    /// Symbol-level diff against a retrained compressor: which keys
+    /// would `next` encode byte-identically (see
+    /// [`EncodingDiff`](crate::diff::EncodingDiff))? `None` when the
+    /// schemes differ or either side lacks a fast encoder — then there
+    /// is nothing to merge and a caller should re-encode everything.
+    pub fn encoding_diff<'a>(&'a self, next: &'a Hope) -> Option<crate::diff::EncodingDiff<'a>> {
+        if self.scheme != next.scheme {
+            return None;
+        }
+        crate::diff::EncodingDiff::new(&self.encoder, &next.encoder)
+    }
+
     /// Build the bit-walk reference decoder for this dictionary.
     ///
     /// Scan paths that decode many hits should prefer

@@ -401,6 +401,23 @@ impl FastEncoder {
         }
     }
 
+    /// The pack-ready fused-table entries `(main, terminator)` of an
+    /// array-dictionary table — `(256-entry byte table, empty)` for
+    /// Single-Char, `(65 536-entry pair table, 256-entry terminator
+    /// table)` for Double-Char — or `None` for the prefix automaton.
+    /// Because an entry *is* the complete per-symbol encode (bits and
+    /// length fused), equal entries across two tables mean the two
+    /// dictionaries emit byte-identical output for that symbol; the
+    /// dictionary-diff layer ([`crate::diff::EncodingDiff`]) builds its
+    /// changed-symbol bitsets from exactly this comparison.
+    pub(crate) fn fused_tables(&self) -> Option<(&[u64], &[u64])> {
+        match &self.table {
+            FastTable::Single(t) => Some((t, &[])),
+            FastTable::Double { pair, term } => Some((pair, term)),
+            FastTable::Automaton(_) => None,
+        }
+    }
+
     /// Fixed symbol length of a fused array table (1 or 2), or `None` for
     /// the prefix automaton, whose symbols are variable-length.
     pub fn fixed_gram(&self) -> Option<usize> {

@@ -47,6 +47,7 @@ pub mod code_assign;
 pub mod codec;
 pub mod decoder;
 pub mod dict;
+pub mod diff;
 pub mod encoder;
 pub mod fast_encoder;
 pub mod hu_tucker;
@@ -58,6 +59,7 @@ pub use bitpack::{Code, EncodedKey};
 pub use builder::{BuildTimings, CodecStats, Hope, HopeBuilder, HopeError};
 pub use codec::{IdentityCodec, KeyCodec, MAX_KEY_BYTES};
 pub use decoder::{DecodeScratch, DecodedBatch, Decoder, FastDecoder};
+pub use diff::EncodingDiff;
 pub use encoder::{EncodeScratch, Encoder};
 pub use fast_encoder::FastEncoder;
 pub use index::{OrderedIndex, Value};

@@ -30,6 +30,11 @@
 //! only when it crosses into the next shard. Writes that land after the
 //! cursor entered a shard may or may not be observed — the same
 //! read-committed behaviour the push path always had.
+//!
+//! A cursor opened on a [`Snapshot`] is
+//! stronger: every generation was pinned (with its log watermark) at
+//! capture time, so the scan observes exactly the capture instant — no
+//! swap, insert, or update after it is ever visible, in any shard.
 
 use std::sync::Arc;
 
@@ -37,6 +42,7 @@ use hope::Value;
 
 use crate::error::StoreError;
 use crate::generation::Generation;
+use crate::versioned::Snapshot;
 use crate::HopeStore;
 
 /// Hits fetched per pull-mode chunk: large enough to amortize the
@@ -44,13 +50,47 @@ use crate::HopeStore;
 /// read-lock holds and resume latency short.
 const CHUNK: usize = 256;
 
+/// What a cursor (or push scan) reads from: the live store, pinning each
+/// shard's *current* generation the moment the scan enters it, or a
+/// [`Snapshot`], whose generations and watermarks were all pinned at
+/// capture time.
+#[derive(Debug, Clone, Copy)]
+enum Source<'a, V: Value> {
+    Live(&'a HopeStore<V>),
+    Snap(&'a Snapshot<V>),
+}
+
+impl<'a, V: Value> Source<'a, V> {
+    /// Shard index responsible for `key` (both variants route on the
+    /// same immutable split points).
+    fn route(&self, key: &[u8]) -> usize {
+        match self {
+            Source::Live(store) => store.route(key),
+            Source::Snap(snap) => snap.route(key),
+        }
+    }
+
+    /// Pin `shard` for reading: its generation plus the point-in-time
+    /// watermark to read at (`None` = latest, the live store's view).
+    fn pin(&self, shard: usize) -> (Arc<Generation<V>>, Option<usize>) {
+        match self {
+            Source::Live(store) => (store.shard_ref(shard).current(), None),
+            Source::Snap(snap) => {
+                let (g, w) = snap.pin(shard);
+                (g, Some(w))
+            }
+        }
+    }
+}
+
 /// A lazy cursor over a bounded range query (see the module docs).
 ///
-/// Created by [`HopeStore::cursor`]; bounds are inclusive on both ends
-/// and hits arrive in global source-key order, spanning shards.
+/// Created by [`HopeStore::cursor`] (live, read-committed) or
+/// [`Snapshot::cursor`] (point-in-time); bounds are inclusive on both
+/// ends and hits arrive in global source-key order, spanning shards.
 #[derive(Debug)]
 pub struct RangeCursor<'a, V: Value = u64> {
-    store: &'a HopeStore<V>,
+    source: Source<'a, V>,
     low: Vec<u8>,
     high: Vec<u8>,
     /// Hits still allowed by the query's `limit`.
@@ -60,6 +100,9 @@ pub struct RangeCursor<'a, V: Value = u64> {
     shard_end: usize,
     /// Epoch handle pinning the current shard's generation.
     generation: Option<Arc<Generation<V>>>,
+    /// Watermark the current shard is read at (snapshot sources only;
+    /// `None` reads latest). Set alongside `generation` on shard entry.
+    watermark: Option<usize>,
     /// Resume point within the current shard: the last key already
     /// emitted (hits continue strictly after it).
     after: Option<Vec<u8>>,
@@ -86,16 +129,32 @@ impl<'a, V: Value> RangeCursor<'a, V> {
         high: &[u8],
         limit: usize,
     ) -> RangeCursor<'a, V> {
+        Self::over(Source::Live(store), low, high, limit)
+    }
+
+    /// A cursor reading a snapshot's point in time ([`Snapshot::cursor`]).
+    pub(crate) fn new_snap(
+        snap: &'a Snapshot<V>,
+        low: &[u8],
+        high: &[u8],
+        limit: usize,
+    ) -> RangeCursor<'a, V> {
+        Self::over(Source::Snap(snap), low, high, limit)
+    }
+
+    fn over(source: Source<'a, V>, low: &[u8], high: &[u8], limit: usize) -> RangeCursor<'a, V> {
         let empty = low > high || limit == 0;
-        let (shard, shard_end) = if empty { (1, 0) } else { (store.route(low), store.route(high)) };
+        let (shard, shard_end) =
+            if empty { (1, 0) } else { (source.route(low), source.route(high)) };
         RangeCursor {
-            store,
+            source,
             low: low.to_vec(),
             high: high.to_vec(),
             remaining: if empty { 0 } else { limit },
             shard,
             shard_end,
             generation: None,
+            watermark: None,
             after: None,
             keys_flat: Vec::new(),
             key_spans: Vec::new(),
@@ -188,9 +247,12 @@ impl<'a, V: Value> RangeCursor<'a, V> {
                         self.done = true;
                         return false;
                     }
-                    // Entering a shard: pin its current generation.
-                    let g = self.store.shard_ref(self.shard).current();
+                    // Entering a shard: pin its generation (the current
+                    // one for a live source; the capture-time one, plus
+                    // its watermark, for a snapshot).
+                    let (g, w) = self.source.pin(self.shard);
                     self.after = None;
+                    self.watermark = w;
                     self.generation = Some(Arc::clone(&g));
                     g
                 }
@@ -198,13 +260,20 @@ impl<'a, V: Value> RangeCursor<'a, V> {
             let chunk = CHUNK.min(self.remaining);
             self.chunk_epoch = Some(generation.epoch());
             let visited = {
-                let Self { low, high, after, keys_flat, key_spans, vals, .. } = self;
-                generation.range_with_from(after.as_deref(), low, high, chunk, |k, v| {
-                    let start = keys_flat.len() as u32;
-                    keys_flat.extend_from_slice(k);
-                    key_spans.push((start, keys_flat.len() as u32));
-                    vals.push(v.clone());
-                })
+                let Self { low, high, after, watermark, keys_flat, key_spans, vals, .. } = self;
+                generation.range_with_from(
+                    after.as_deref(),
+                    low,
+                    high,
+                    chunk,
+                    *watermark,
+                    |k, v| {
+                        let start = keys_flat.len() as u32;
+                        keys_flat.extend_from_slice(k);
+                        key_spans.push((start, keys_flat.len() as u32));
+                        vals.push(v.clone());
+                    },
+                )
             };
             let emitted = match visited {
                 Ok(n) => n,
@@ -270,15 +339,16 @@ impl<'a, V: Value> RangeCursor<'a, V> {
         }
         // Stream the rest shard by shard.
         while !self.done && self.remaining > 0 && self.shard <= self.shard_end {
-            let generation = match self.generation.take() {
-                Some(g) => g,
-                None => self.store.shard_ref(self.shard).current(),
+            let (generation, watermark) = match self.generation.take() {
+                Some(g) => (g, self.watermark),
+                None => self.source.pin(self.shard),
             };
             let n = generation.range_with_from(
                 self.after.take().as_deref(),
                 &self.low,
                 &self.high,
                 self.remaining,
+                watermark,
                 &mut f,
             )?;
             emitted += n;
@@ -309,6 +379,36 @@ pub(crate) fn push_scan<V, F>(
     low: &[u8],
     high: &[u8],
     limit: usize,
+    f: F,
+) -> Result<usize, StoreError>
+where
+    V: Value,
+    F: FnMut(&[u8], &V),
+{
+    scan(Source::Live(store), low, high, limit, f)
+}
+
+/// [`push_scan`]'s point-in-time twin: the engine behind
+/// [`Snapshot::range_with`] and [`Snapshot::range_into`].
+pub(crate) fn snap_scan<V, F>(
+    snap: &Snapshot<V>,
+    low: &[u8],
+    high: &[u8],
+    limit: usize,
+    f: F,
+) -> Result<usize, StoreError>
+where
+    V: Value,
+    F: FnMut(&[u8], &V),
+{
+    scan(Source::Snap(snap), low, high, limit, f)
+}
+
+fn scan<V, F>(
+    source: Source<'_, V>,
+    low: &[u8],
+    high: &[u8],
+    limit: usize,
     mut f: F,
 ) -> Result<usize, StoreError>
 where
@@ -318,14 +418,15 @@ where
     if low > high || limit == 0 {
         return Ok(0);
     }
-    let (s0, s1) = (store.route(low), store.route(high));
+    let (s0, s1) = (source.route(low), source.route(high));
     let mut emitted = 0usize;
     for shard in s0..=s1 {
         if emitted == limit {
             break;
         }
-        let generation = store.shard_ref(shard).current();
-        emitted += generation.range_with_from(None, low, high, limit - emitted, &mut f)?;
+        let (generation, watermark) = source.pin(shard);
+        emitted +=
+            generation.range_with_from(None, low, high, limit - emitted, watermark, &mut f)?;
     }
     Ok(emitted)
 }

@@ -35,6 +35,20 @@ pub enum StoreError {
         /// How many shards the store has.
         shards: usize,
     },
+    /// A shard's write log reached its configured capacity
+    /// ([`StoreConfig::write_log_capacity`](crate::StoreConfig::write_log_capacity),
+    /// at most `u32::MAX` — entry indices are 32-bit). The insert was
+    /// **not** applied; the shard keeps serving. This is back-pressure,
+    /// not corruption: run
+    /// [`HopeStore::maintain`](crate::HopeStore::maintain) or
+    /// [`HopeStore::force_rebuild`](crate::HopeStore::force_rebuild) to
+    /// compact the log, then retry.
+    WriteLogFull {
+        /// Shard whose log is full.
+        shard: usize,
+        /// The capacity the log hit.
+        capacity: u32,
+    },
     /// A rebuild forced to fail by an installed fault-injection plan
     /// ([`HopeStore::inject_faults`](crate::HopeStore::inject_faults)) —
     /// the deterministic test double for a real dictionary-build failure.
@@ -58,6 +72,13 @@ impl std::fmt::Display for StoreError {
             StoreError::Codec(e) => write!(f, "codec error: {e}"),
             StoreError::NoSuchShard { shard, shards } => {
                 write!(f, "shard {shard} out of range (store has {shards})")
+            }
+            StoreError::WriteLogFull { shard, capacity } => {
+                write!(
+                    f,
+                    "shard {shard} write log full ({capacity} entries): rebuild to compact, \
+                     then retry"
+                )
             }
             StoreError::FaultInjected { shard, attempt } => {
                 write!(f, "injected fault: shard {shard} rebuild attempt {attempt} forced to fail")
@@ -101,5 +122,8 @@ mod tests {
         assert!(matches!(e, StoreError::Codec(HopeError::EmptySample)));
         assert!(std::error::Error::source(&e).is_some());
         assert!(StoreError::NoSuchShard { shard: 9, shards: 4 }.to_string().contains("9"));
+        let e = StoreError::WriteLogFull { shard: 2, capacity: 128 };
+        assert!(e.to_string().contains("write log full"), "{e}");
+        assert!(e.to_string().contains("128"));
     }
 }

@@ -53,15 +53,55 @@ thread_local! {
     static SCAN: RefCell<Vec<SlotId>> = const { RefCell::new(Vec::new()) };
 }
 
+/// `prev` sentinel: this entry superseded nothing (first version of its
+/// key in this log). Safe as a sentinel because the capacity guard in
+/// `apply_insert` rejects the insert that would *create* index
+/// `u32::MAX` before it happens.
+pub(crate) const NO_PREV: u32 = u32::MAX;
+
 /// One stored record: the original (uncompressed) key and its value.
 ///
 /// The source key must be retained anyway to re-encode the shard under a
 /// new dictionary at swap time; keeping it per entry also gives the slot
 /// table something authoritative to compare against.
+///
+/// `prev` threads the per-key **version chain** through the append-only
+/// log: an update's entry records the log index it superseded
+/// ([`NO_PREV`] for a first version). Because slots point at the newest
+/// entry and every link strictly decreases the index, "the value of key
+/// K at log watermark W" is: follow the chain from the slot's entry
+/// until the index drops below W (that version was live at W), or the
+/// chain ends (K did not exist at W). This is what gives store-wide
+/// snapshots point-in-time reads over a generation that keeps mutating.
 #[derive(Debug, Clone)]
 pub(crate) struct Entry<V> {
     pub key: Box<[u8]>,
     pub value: V,
+    /// Log index this entry superseded, or [`NO_PREV`].
+    pub prev: u32,
+}
+
+impl<V> Entry<V> {
+    /// A first-version entry (no predecessor in the chain).
+    pub(crate) fn new(key: Box<[u8]>, value: V) -> Entry<V> {
+        Entry { key, value, prev: NO_PREV }
+    }
+}
+
+/// Resolve the chain member of `ei` visible at log watermark `at`
+/// (`None` = the live entry itself). See [`Entry::prev`].
+fn visible_at<V>(entries: &[Entry<V>], mut ei: u32, at: Option<usize>) -> Option<&Entry<V>> {
+    let Some(w) = at else { return Some(&entries[ei as usize]) };
+    loop {
+        if (ei as usize) < w {
+            return Some(&entries[ei as usize]);
+        }
+        let prev = entries[ei as usize].prev;
+        if prev == NO_PREV {
+            return None;
+        }
+        ei = prev;
+    }
 }
 
 /// The mutable interior of a generation.
@@ -79,6 +119,11 @@ pub(crate) struct GenData<V> {
     pub entries: Vec<Entry<V>>,
     /// Slot id → live entry indices, ordered by source key.
     pub slots: Vec<Vec<u32>>,
+    /// Slot id → the encoded padded byte string the slot indexes under.
+    /// The `OrderedIndex` contract yields values only, never keys, so
+    /// the generation keeps its own copy — this is what lets a merge
+    /// rebuild reuse already-encoded runs without re-deriving them.
+    pub encs: Vec<Box<[u8]>>,
     /// Number of live keys.
     pub live: usize,
 }
@@ -90,7 +135,42 @@ pub struct Generation<V: Value = u64> {
     epoch: u64,
     hope: Hope,
     baseline_cpr: f64,
+    /// Shard this generation serves (error attribution only).
+    shard: usize,
+    /// Write-log entry cap: `apply_insert` returns
+    /// [`StoreError::WriteLogFull`] instead of growing past it.
+    log_capacity: u32,
     data: RwLock<GenData<V>>,
+}
+
+/// Byte accounting of one merge build ([`Generation::build_merged`]):
+/// how much encoded output was spliced from the old generation verbatim
+/// vs produced by running the new dictionary.
+#[derive(Debug, Clone, Copy, Default)]
+pub(crate) struct MergeStats {
+    /// Encoded bytes reused from the old generation (per live entry).
+    pub reused_bytes: u64,
+    /// Encoded bytes re-encoded under the new dictionary.
+    pub reencoded_bytes: u64,
+}
+
+/// What [`Generation::snapshot_live_encoded`] captures: the sorted live
+/// entries, their encoded bytes under the current dictionary, and the
+/// log watermark the swap's splice replays from.
+pub(crate) type LiveEncoded<V> = (Vec<Entry<V>>, Vec<Box<[u8]>>, usize);
+
+/// The per-entry inputs of [`Generation::build_merged`], which travel
+/// together (index-aligned): the sorted live entries, their encodings
+/// under the *previous* dictionary, and the dictionary diff's verdict
+/// on whether those bytes survive the retrain verbatim.
+pub(crate) struct MergeSource<V: Value> {
+    /// Sorted live entries to load.
+    pub pairs: Vec<Entry<V>>,
+    /// Entry `i`'s encoding under the previous dictionary.
+    pub old_encs: Vec<Box<[u8]>>,
+    /// True when `old_encs[i]` is provably identical under the new
+    /// dictionary and can be spliced without re-encoding.
+    pub reuse: Vec<bool>,
 }
 
 /// Encode-side footprint of one insert, accumulated into the shard's
@@ -112,16 +192,22 @@ impl<V: Value> Generation<V> {
         hope: Hope,
         baseline_cpr: f64,
         mut index: Box<dyn OrderedIndex<SlotId>>,
-        pairs: Vec<Entry<V>>,
+        mut pairs: Vec<Entry<V>>,
         batch_block: usize,
     ) -> Generation<V> {
         debug_assert!(pairs.windows(2).all(|w| w[0].key < w[1].key), "bulk load must be sorted");
+        // Loaded entries start fresh chains: a clone out of another
+        // generation's log carries `prev` indices that mean nothing here.
+        for e in &mut pairs {
+            e.prev = NO_PREV;
+        }
         let keys: Vec<&[u8]> = pairs.iter().map(|e| e.key.as_ref()).collect();
         let encoded = hope.encode_batch(&keys, batch_block.max(1));
         let live = pairs.len();
         // Sorted input keeps equal encodings adjacent: open a new slot on
         // every change of byte string, append to the current one on a tie.
         let mut slots: Vec<Vec<u32>> = Vec::new();
+        let mut encs: Vec<Box<[u8]>> = Vec::new();
         let mut prev: Option<Vec<u8>> = None;
         for (i, enc) in encoded.into_iter().enumerate() {
             let bytes = enc.into_bytes();
@@ -130,11 +216,92 @@ impl<V: Value> Generation<V> {
             } else {
                 slots.push(vec![i as u32]);
                 index.insert(&bytes, (slots.len() - 1) as SlotId);
+                encs.push(bytes.clone().into_boxed_slice());
                 prev = Some(bytes);
             }
         }
-        let data = GenData { index, entries: pairs, slots, live };
-        Generation { epoch, hope, baseline_cpr, data: RwLock::new(data) }
+        let data = GenData { index, entries: pairs, slots, encs, live };
+        Generation {
+            epoch,
+            hope,
+            baseline_cpr,
+            shard: 0,
+            log_capacity: NO_PREV,
+            data: RwLock::new(data),
+        }
+    }
+
+    /// [`Generation::build`], but **merge-style**: entry `i` whose
+    /// `reuse[i]` is set splices `old_encs[i]` — its encoding under the
+    /// *previous* dictionary — verbatim instead of re-encoding, which is
+    /// exact because the dictionary diff already proved the new
+    /// dictionary emits those very bytes (see
+    /// [`hope::diff::EncodingDiff`]). Only the changed keys run the
+    /// encoder (still batch-encoded: they are a sorted subsequence, so
+    /// the prefix-reuse optimization applies). Slot construction is
+    /// identical to the bulk build's — reused and re-encoded runs
+    /// interleave into one sorted encoded stream.
+    pub(crate) fn build_merged(
+        epoch: u64,
+        hope: Hope,
+        baseline_cpr: f64,
+        mut index: Box<dyn OrderedIndex<SlotId>>,
+        source: MergeSource<V>,
+        batch_block: usize,
+    ) -> (Generation<V>, MergeStats) {
+        let MergeSource { mut pairs, old_encs, reuse } = source;
+        debug_assert!(pairs.windows(2).all(|w| w[0].key < w[1].key), "merge load must be sorted");
+        debug_assert_eq!(pairs.len(), old_encs.len());
+        debug_assert_eq!(pairs.len(), reuse.len());
+        for e in &mut pairs {
+            e.prev = NO_PREV;
+        }
+        let changed: Vec<&[u8]> =
+            pairs.iter().zip(&reuse).filter(|&(_, &r)| !r).map(|(e, _)| e.key.as_ref()).collect();
+        let reencoded = hope.encode_batch(&changed, batch_block.max(1));
+        let mut reencoded_iter = reencoded.into_iter();
+        let mut stats = MergeStats::default();
+        let live = pairs.len();
+        let mut slots: Vec<Vec<u32>> = Vec::new();
+        let mut encs: Vec<Box<[u8]>> = Vec::new();
+        let mut prev: Option<Vec<u8>> = None;
+        for (i, old_enc) in old_encs.into_iter().enumerate() {
+            let bytes: Vec<u8> = if reuse[i] {
+                stats.reused_bytes += old_enc.len() as u64;
+                old_enc.into_vec()
+            } else {
+                let enc = reencoded_iter.next().expect("one batch encoding per changed key");
+                let b = enc.into_bytes();
+                stats.reencoded_bytes += b.len() as u64;
+                b
+            };
+            if prev.as_deref() == Some(bytes.as_slice()) {
+                slots.last_mut().expect("tie follows an opened slot").push(i as u32);
+            } else {
+                slots.push(vec![i as u32]);
+                index.insert(&bytes, (slots.len() - 1) as SlotId);
+                encs.push(bytes.clone().into_boxed_slice());
+                prev = Some(bytes);
+            }
+        }
+        let data = GenData { index, entries: pairs, slots, encs, live };
+        let generation = Generation {
+            epoch,
+            hope,
+            baseline_cpr,
+            shard: 0,
+            log_capacity: NO_PREV,
+            data: RwLock::new(data),
+        };
+        (generation, stats)
+    }
+
+    /// Attach the owning shard id (error attribution) and the write-log
+    /// capacity (back-pressure bound) — chained right after a build.
+    pub(crate) fn with_context(mut self, shard: usize, log_capacity: u32) -> Generation<V> {
+        self.shard = shard;
+        self.log_capacity = log_capacity;
+        self
     }
 
     /// Read the interior, recovering from poisoning (see module docs).
@@ -173,12 +340,14 @@ impl<V: Value> Generation<V> {
         self.len() == 0
     }
 
-    /// Memory footprint: index structure + entry log + slot table.
+    /// Memory footprint: index structure + entry log + slot table +
+    /// retained per-slot encodings.
     pub fn memory_bytes(&self) -> usize {
         let d = self.read();
         d.index.memory_bytes()
             + d.entries.iter().map(|e| e.key.len() + std::mem::size_of::<Entry<V>>()).sum::<usize>()
             + d.slots.iter().map(|s| s.len() * 4 + std::mem::size_of::<Vec<u32>>()).sum::<usize>()
+            + d.encs.iter().map(|e| e.len() + std::mem::size_of::<Box<[u8]>>()).sum::<usize>()
     }
 
     /// Point lookup by source key, cloning the value out (a copy for
@@ -218,6 +387,30 @@ impl<V: Value> Generation<V> {
         })
     }
 
+    /// Point-in-time point lookup: the value `key` had when the log
+    /// stood at `watermark` entries — the read primitive behind
+    /// [`Snapshot`](crate::versioned::Snapshot). Resolves the slot's
+    /// entry through its version chain (see [`Entry::prev`]): entries
+    /// appended at or after the watermark are invisible, and a key whose
+    /// whole chain postdates the watermark did not exist then.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Codec`] when the probe key fails codec validation.
+    pub(crate) fn get_at(&self, key: &[u8], watermark: usize) -> Result<Option<V>, StoreError> {
+        SCRATCH.with_borrow_mut(|scratch| {
+            let enc = self.hope.encode_to(key, scratch)?;
+            let d = self.read();
+            let Some(&slot) = d.index.get(enc) else { return Ok(None) };
+            Ok(d.slots[slot as usize]
+                .iter()
+                .copied()
+                .find(|&ei| d.entries[ei as usize].key.as_ref() == key)
+                .and_then(|ei| visible_at(&d.entries, ei, Some(watermark)))
+                .map(|e| e.value.clone()))
+        })
+    }
+
     /// [`Generation::get`] with per-stage span timing (encode vs probe),
     /// for the serving layer's sampled request tracing. Identical
     /// semantics; the extra `Instant` reads are why the untraced path
@@ -252,8 +445,9 @@ impl<V: Value> Generation<V> {
     ///
     /// # Errors
     ///
-    /// [`StoreError::Codec`] when the key fails codec validation; the
-    /// generation is unchanged in that case.
+    /// [`StoreError::Codec`] when the key fails codec validation, or
+    /// [`StoreError::WriteLogFull`] when the log is at capacity; the
+    /// generation is unchanged in either case.
     pub(crate) fn insert(
         &self,
         key: &[u8],
@@ -261,7 +455,7 @@ impl<V: Value> Generation<V> {
     ) -> Result<(Option<V>, EncodeFootprint), StoreError> {
         SCRATCH.with_borrow_mut(|scratch| {
             let bytes = self.hope.encode_to(key, scratch)?;
-            Ok(self.apply_insert(key, value, bytes))
+            self.apply_insert(key, value, bytes)
         })
     }
 
@@ -270,7 +464,8 @@ impl<V: Value> Generation<V> {
     ///
     /// # Errors
     ///
-    /// [`StoreError::Codec`] when the key fails codec validation.
+    /// [`StoreError::Codec`] when the key fails codec validation, or
+    /// [`StoreError::WriteLogFull`] when the log is at capacity.
     pub(crate) fn insert_spanned(
         &self,
         key: &[u8],
@@ -281,32 +476,52 @@ impl<V: Value> Generation<V> {
             let bytes = self.hope.encode_to(key, scratch)?;
             let encode_ns = t0.elapsed().as_nanos() as u64;
             let t1 = Instant::now();
-            let (old, footprint) = self.apply_insert(key, value, bytes);
+            let (old, footprint) = self.apply_insert(key, value, bytes)?;
             let probe_ns = t1.elapsed().as_nanos() as u64;
             Ok((old, footprint, ProbeSpans { encode_ns, probe_ns, decode_ns: 0 }))
         })
     }
 
     /// The mutation half of an insert, over already-encoded padded bytes.
-    fn apply_insert(&self, key: &[u8], value: V, bytes: &[u8]) -> (Option<V>, EncodeFootprint) {
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::WriteLogFull`] when the log is at its configured
+    /// capacity (and always before it could reach `u32::MAX` entries,
+    /// where slot indices and the [`NO_PREV`] sentinel would break): the
+    /// insert is **not** applied, the generation stays fully serviceable,
+    /// and a rebuild compacts the log so the caller can retry.
+    fn apply_insert(
+        &self,
+        key: &[u8],
+        value: V,
+        bytes: &[u8],
+    ) -> Result<(Option<V>, EncodeFootprint), StoreError> {
         let footprint =
             EncodeFootprint { src_bytes: key.len() as u64, enc_bytes: bytes.len() as u64 };
         let mut d = self.write();
-        // Slot entries are u32; the log is compacted by rebuilds long
-        // before this bound in any maintained deployment.
-        let new_idx = u32::try_from(d.entries.len())
-            .expect("generation write log exceeded u32::MAX entries without a rebuild");
-        d.entries.push(Entry { key: key.into(), value });
+        if d.entries.len() >= self.log_capacity as usize {
+            return Err(StoreError::WriteLogFull {
+                shard: self.shard,
+                capacity: self.log_capacity,
+            });
+        }
+        // In range: the capacity guard bounds the log at u32::MAX.
+        let new_idx = d.entries.len() as u32;
+        d.entries.push(Entry::new(key.into(), value));
         let existing = d.index.get(bytes).copied();
-        let GenData { index, entries, slots, live } = &mut *d;
+        let GenData { index, entries, slots, encs, live } = &mut *d;
         let old = match existing {
             Some(slot_id) => {
                 let slot = &mut slots[slot_id as usize];
                 match slot.iter().position(|&ei| entries[ei as usize].key.as_ref() >= key) {
                     Some(pos) if entries[slot[pos] as usize].key.as_ref() == key => {
-                        // Update: re-point the slot, keep the old log entry
-                        // as garbage for the swap replay to supersede.
+                        // Update: chain the new entry to the one it
+                        // supersedes (snapshot reads walk this), then
+                        // re-point the slot; the old log entry stays as
+                        // garbage for the swap replay to supersede.
                         let old = entries[slot[pos] as usize].value.clone();
+                        entries[new_idx as usize].prev = slot[pos];
                         slot[pos] = new_idx;
                         Some(old)
                     }
@@ -325,11 +540,12 @@ impl<V: Value> Generation<V> {
             None => {
                 slots.push(vec![new_idx]);
                 index.insert(bytes, (slots.len() - 1) as SlotId);
+                encs.push(bytes.into());
                 *live += 1;
                 None
             }
         };
-        (old, footprint)
+        Ok((old, footprint))
     }
 
     /// Bounded range query by source keys, inclusive on both ends:
@@ -375,19 +591,22 @@ impl<V: Value> Generation<V> {
         if low > high || limit == 0 {
             return Ok(0);
         }
-        self.range_with_from(None, low, high, limit, f)
+        self.range_with_from(None, low, high, limit, None, f)
     }
 
-    /// [`Generation::range_with`] with an exclusive resume point: visit
+    /// [`Generation::range_with`] with an exclusive resume point — visit
     /// hits strictly greater than `after` (a key previously emitted by
-    /// the same scan). Runs on the probe thread-locals — the cursor's
-    /// push adapter continues a partially pulled scan through this.
+    /// the same scan) — and an optional point-in-time watermark (`at`;
+    /// see [`Generation::get_at`]). Runs on the probe thread-locals —
+    /// the cursor's push adapter continues a partially pulled scan
+    /// through this.
     pub(crate) fn range_with_from<F>(
         &self,
         after: Option<&[u8]>,
         low: &[u8],
         high: &[u8],
         limit: usize,
+        at: Option<usize>,
         f: F,
     ) -> Result<usize, StoreError>
     where
@@ -395,7 +614,7 @@ impl<V: Value> Generation<V> {
     {
         SCRATCH.with_borrow_mut(|scratch| {
             SCAN.with_borrow_mut(|slot_ids| {
-                self.range_visit(after, low, high, limit, scratch, slot_ids, f)
+                self.range_visit(after, low, high, limit, at, scratch, slot_ids, f)
             })
         })
     }
@@ -404,7 +623,12 @@ impl<V: Value> Generation<V> {
     /// and pull (cursor chunk) paths: visit up to `limit` hits with
     /// source key strictly greater than `after` (when set; the cursor's
     /// resume point) and within `low..=high`, using *caller-provided*
-    /// scratch buffers.
+    /// scratch buffers. With `at` set, every candidate entry resolves
+    /// through its version chain first ([`Generation::get_at`]), so the
+    /// scan observes exactly the state at that log watermark — slots and
+    /// versions born later are invisible. (Index and slot growth happen
+    /// under the data lock this scan reads under, so the watermark is
+    /// never torn.)
     ///
     /// Boundary slots may mix keys inside and outside the source range
     /// (padded-byte ties), so a slot-limited query can come up short after
@@ -420,6 +644,7 @@ impl<V: Value> Generation<V> {
         low: &[u8],
         high: &[u8],
         limit: usize,
+        at: Option<usize>,
         scratch: &mut EncodeScratch,
         slot_ids: &mut Vec<SlotId>,
         mut f: F,
@@ -452,7 +677,7 @@ impl<V: Value> Generation<V> {
                 let abs = done + j;
                 let boundary = abs == 0 || abs + 1 == slot_ids.len();
                 for &ei in &d.slots[*sid as usize] {
-                    let e = &d.entries[ei as usize];
+                    let Some(e) = visible_at(&d.entries, ei, at) else { continue };
                     if boundary {
                         let past_resume = match after {
                             Some(a) => e.key.as_ref() > a,
@@ -477,19 +702,34 @@ impl<V: Value> Generation<V> {
         }
     }
 
-    /// Snapshot the live entries in source order plus the log watermark;
-    /// everything appended after `watermark` is what the swap must replay.
-    pub(crate) fn snapshot_live(&self) -> (Vec<Entry<V>>, usize) {
+    /// Snapshot the live entries in source order, the log watermark
+    /// (everything appended after it is what the swap must replay), and,
+    /// per live entry, the encoded padded byte string it is indexed under
+    /// (entries in the same slot share bytes) — the input of a merge
+    /// rebuild, which splices these encodings verbatim for keys the
+    /// dictionary diff proved unchanged.
+    pub(crate) fn snapshot_live_encoded(&self) -> LiveEncoded<V> {
         let d = self.read();
         let mut slot_ids: Vec<SlotId> = Vec::with_capacity(d.slots.len());
         d.index.scan_into(&[], usize::MAX, &mut slot_ids);
         let mut live = Vec::with_capacity(d.live);
+        let mut encs = Vec::with_capacity(d.live);
         for sid in slot_ids {
             for &ei in &d.slots[sid as usize] {
                 live.push(d.entries[ei as usize].clone());
+                encs.push(d.encs[sid as usize].clone());
             }
         }
-        (live, d.entries.len())
+        (live, encs, d.entries.len())
+    }
+
+    /// Total encoded bytes across the live entries (entries in the same
+    /// slot each count its bytes) — the full-rebuild counterpart of
+    /// [`MergeStats::reencoded_bytes`], so the two paths report on the
+    /// same scale.
+    pub(crate) fn encoded_live_bytes(&self) -> u64 {
+        let d = self.read();
+        d.slots.iter().zip(&d.encs).map(|(slot, enc)| slot.len() as u64 * enc.len() as u64).sum()
     }
 
     /// Clone of the log entries appended after `watermark`, in order.
@@ -515,7 +755,7 @@ mod tests {
         let sample: Vec<Vec<u8>> = pairs.iter().map(|(k, _)| k.as_bytes().to_vec()).collect();
         let hope = HopeBuilder::new(Scheme::DoubleChar).build_from_sample(sample).unwrap();
         let mut sorted: Vec<Entry<u64>> =
-            pairs.iter().map(|(k, v)| Entry { key: k.as_bytes().into(), value: *v }).collect();
+            pairs.iter().map(|(k, v)| Entry::new(k.as_bytes().into(), *v)).collect();
         sorted.sort_by(|a, b| a.key.cmp(&b.key));
         let index: Box<dyn OrderedIndex<SlotId>> = Box::new(hope_btree::BPlusTree::plain());
         Generation::build(7, hope, 1.5, index, sorted, 8)
@@ -539,7 +779,7 @@ mod tests {
     #[test]
     fn insert_update_and_log_replay_watermark() {
         let g = build_gen(&[("com.gmail@a", 1)]);
-        let (_, w0) = g.snapshot_live();
+        let (_, _, w0) = g.snapshot_live_encoded();
         assert_eq!(g.insert(b"com.gmail@b", 2).unwrap().0, None);
         assert_eq!(g.insert(b"com.gmail@a", 9).unwrap().0, Some(1));
         assert_eq!(g.get(b"com.gmail@a").unwrap(), Some(9));
@@ -586,7 +826,7 @@ mod tests {
         let mut slot_ids = Vec::new();
         let mut seen: Vec<Vec<u8>> = Vec::new();
         let n = g
-            .range_visit(Some(b"ab"), b"a", b"b", 10, &mut scratch, &mut slot_ids, |k, _| {
+            .range_visit(Some(b"ab"), b"a", b"b", 10, None, &mut scratch, &mut slot_ids, |k, _| {
                 seen.push(k.to_vec())
             })
             .unwrap();
@@ -599,10 +839,79 @@ mod tests {
         let g = build_gen(&[("b", 2), ("a", 1)]);
         g.insert(b"c", 3).unwrap();
         g.insert(b"a", 10).unwrap();
-        let (live, _) = g.snapshot_live();
+        let (live, _, _) = g.snapshot_live_encoded();
         let keys: Vec<&[u8]> = live.iter().map(|e| e.key.as_ref()).collect();
         assert_eq!(keys, vec![&b"a"[..], b"b", b"c"]);
         assert_eq!(live[0].value, 10, "snapshot must carry the updated value");
+    }
+
+    #[test]
+    fn write_log_capacity_back_pressures_instead_of_panicking() {
+        let g = build_gen(&[("com.gmail@a", 1)]).with_context(3, 3);
+        // Entry 0 is the bulk load; two appends fit under the cap of 3.
+        assert!(g.insert(b"com.gmail@b", 2).is_ok());
+        assert!(g.insert(b"com.gmail@c", 3).is_ok());
+        let err = g.insert(b"com.gmail@d", 4).unwrap_err();
+        assert!(matches!(err, StoreError::WriteLogFull { shard: 3, capacity: 3 }), "got {err:?}");
+        // The rejected insert left the generation fully serviceable.
+        assert_eq!(g.len(), 3);
+        assert_eq!(g.get(b"com.gmail@c").unwrap(), Some(3));
+        assert_eq!(g.get(b"com.gmail@d").unwrap(), None);
+        // Updates are appends too: same back-pressure.
+        assert!(matches!(g.insert(b"com.gmail@a", 9), Err(StoreError::WriteLogFull { .. })));
+        assert_eq!(g.get(b"com.gmail@a").unwrap(), Some(1));
+    }
+
+    #[test]
+    fn watermark_reads_observe_the_point_in_time_state() {
+        let g = build_gen(&[("a", 1), ("c", 3)]);
+        g.insert(b"a", 10).unwrap();
+        let (_, _, w) = g.snapshot_live_encoded();
+        // Post-watermark: update a again, add a new key between a and c.
+        g.insert(b"a", 100).unwrap();
+        g.insert(b"b", 2).unwrap();
+
+        assert_eq!(g.get_at(b"a", w).unwrap(), Some(10), "chain resolves to the pre-W version");
+        assert_eq!(g.get_at(b"b", w).unwrap(), None, "key born after W is invisible");
+        assert_eq!(g.get_at(b"c", w).unwrap(), Some(3));
+        // And the live view still sees everything.
+        assert_eq!(g.get(b"a").unwrap(), Some(100));
+        assert_eq!(g.get(b"b").unwrap(), Some(2));
+
+        let mut at_w: Vec<(Vec<u8>, u64)> = Vec::new();
+        g.range_with_from(None, b"a", b"z", 10, Some(w), |k, v| at_w.push((k.to_vec(), *v)))
+            .unwrap();
+        assert_eq!(at_w, vec![(b"a".to_vec(), 10), (b"c".to_vec(), 3)]);
+    }
+
+    #[test]
+    fn build_merged_splices_reused_runs_exactly() {
+        let pairs = &[("com.gmail@a", 1u64), ("com.gmail@b", 2), ("org.acm@c", 3)];
+        let g = build_gen(pairs);
+        let (live, old_encs, _) = g.snapshot_live_encoded();
+        assert_eq!(live.len(), 3);
+        assert_eq!(old_encs.len(), 3);
+        assert!(g.encoded_live_bytes() > 0);
+
+        // Same dictionary (deterministic Hu-Tucker on the same sample) ⇒
+        // every key reusable; reuse two of three and force one re-encode.
+        let sample: Vec<Vec<u8>> = pairs.iter().map(|(k, _)| k.as_bytes().to_vec()).collect();
+        let hope = HopeBuilder::new(Scheme::DoubleChar).build_from_sample(sample).unwrap();
+        let index: Box<dyn OrderedIndex<SlotId>> = Box::new(hope_btree::BPlusTree::plain());
+        let reuse = vec![true, false, true];
+        let source = MergeSource { pairs: live, old_encs, reuse };
+        let (merged, stats) = Generation::build_merged(8, hope, 1.5, index, source, 8);
+        assert_eq!(merged.epoch(), 8);
+        assert_eq!(merged.len(), 3);
+        assert!(stats.reused_bytes > 0);
+        assert!(stats.reencoded_bytes > 0);
+        assert_eq!(stats.reused_bytes + stats.reencoded_bytes, merged.encoded_live_bytes());
+        for (k, v) in pairs {
+            assert_eq!(merged.get(k.as_bytes()).unwrap(), Some(*v), "{k}");
+        }
+        let mut scanned: Vec<Vec<u8>> = Vec::new();
+        merged.range_with(b"com", b"os", 10, |k, _| scanned.push(k.to_vec())).unwrap();
+        assert_eq!(scanned.len(), 3, "merged index must scan in source order");
     }
 
     #[test]
@@ -611,8 +920,8 @@ mod tests {
         let hope = HopeBuilder::new(Scheme::SingleChar).build_from_sample(sample).unwrap();
         let index: Box<dyn OrderedIndex<SlotId>> = Box::new(hope_btree::BPlusTree::plain());
         let pairs = vec![
-            Entry { key: b"k1".as_slice().into(), value: b"one".to_vec() },
-            Entry { key: b"k2".as_slice().into(), value: b"two".to_vec() },
+            Entry::new(b"k1".as_slice().into(), b"one".to_vec()),
+            Entry::new(b"k2".as_slice().into(), b"two".to_vec()),
         ];
         let g: Generation<Vec<u8>> = Generation::build(1, hope, 1.0, index, pairs, 4);
         assert_eq!(g.get(b"k2").unwrap(), Some(b"two".to_vec()));

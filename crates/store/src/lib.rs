@@ -27,6 +27,11 @@
 //!   [`RangeCursor`]: pull hits one at a time (`next_hit`), stream them
 //!   zero-copy (`for_each`), or collect (`collect_into`). See the
 //!   [`cursor`] module for the consistency story across swaps.
+//! * **O(1) snapshots** — [`HopeStore::snapshot`] captures a store-wide
+//!   point-in-time [`Snapshot`] in O(shard count): per shard, an `Arc`
+//!   clone of the generation handle plus its write-log watermark. Reads
+//!   on the handle (point, range, cursor) observe exactly the capture
+//!   instant while writers and swaps proceed (the [`versioned`] module).
 //! * **Epoch-based dictionary hot-swap** — each shard tracks the CPR its
 //!   inserts actually achieve; when it degrades past a threshold of the
 //!   build-time baseline, [`HopeStore::maintain`] rebuilds the dictionary
@@ -67,6 +72,7 @@ mod generation;
 pub mod serving;
 mod shard;
 pub mod telemetry;
+pub mod versioned;
 
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, PoisonError};
@@ -77,6 +83,7 @@ use hope::{Hope, HopeBuilder, HopeError, OrderedIndex, Scheme, Value};
 pub use cursor::RangeCursor;
 pub use error::StoreError;
 pub use generation::Generation;
+pub use versioned::Snapshot;
 
 use error::validate_key;
 use generation::Entry;
@@ -170,6 +177,18 @@ pub struct StoreConfig {
     /// for [`HopeStore::telemetry`] snapshots; oldest are dropped — and
     /// counted — past this). Clamped to at least 1.
     pub event_capacity: usize,
+    /// Maximum entries in one generation's append-only write log. Writes
+    /// past this back-pressure with [`StoreError::WriteLogFull`] instead
+    /// of corrupting the slot table (slot ids are `u32`; the default
+    /// leaves the capacity effectively unbounded while still refusing the
+    /// one index reserved as the version-chain sentinel).
+    pub write_log_capacity: u32,
+    /// Minimum fraction of a shard's live **encoded bytes** the retrained
+    /// dictionary must leave byte-identical for a rebuild to take the
+    /// incremental merge path (splice reused runs, re-encode only changed
+    /// keys). Below it, the rebuild falls back to the full re-encode.
+    /// Must lie in `[0, 1]`; `1.0` effectively disables merging.
+    pub incremental_min_reuse: f64,
 }
 
 impl Default for StoreConfig {
@@ -185,6 +204,8 @@ impl Default for StoreConfig {
             batch_block: 16,
             seed: 42,
             event_capacity: 1024,
+            write_log_capacity: u32::MAX,
+            incremental_min_reuse: 0.5,
         }
     }
 }
@@ -208,6 +229,15 @@ pub struct SwapReport {
     pub live_keys: usize,
     /// Writes replayed from the log tail during the splice.
     pub replayed: usize,
+    /// Whether the rebuild took the incremental merge path (reusing
+    /// already-encoded runs) rather than the full re-encode.
+    pub incremental: bool,
+    /// Encoded bytes spliced verbatim from the old generation. Zero on
+    /// the full path.
+    pub reused_bytes: u64,
+    /// Encoded bytes freshly produced by the new dictionary. On the full
+    /// path this is every live entry's encoded length.
+    pub reencoded_bytes: u64,
 }
 
 /// Point-in-time health of one shard.
@@ -288,6 +318,11 @@ impl<V: Value> HopeStore<V> {
         if !(cfg.degrade_ratio > 0.0 && cfg.degrade_ratio <= 1.0) {
             return Err(StoreError::InvalidConfig { reason: "degrade_ratio must be in (0, 1]" });
         }
+        if !(cfg.incremental_min_reuse >= 0.0 && cfg.incremental_min_reuse <= 1.0) {
+            return Err(StoreError::InvalidConfig {
+                reason: "incremental_min_reuse must be in [0, 1]",
+            });
+        }
         // Last write wins, sorted by source key; keys validated up front.
         let mut sorted: std::collections::BTreeMap<Vec<u8>, V> = std::collections::BTreeMap::new();
         for (k, v) in pairs {
@@ -325,7 +360,7 @@ impl<V: Value> HopeStore<V> {
                     }
                 }
                 let (k, v) = sorted.next().expect("peeked");
-                slice.push(Entry { key: k.into(), value: v });
+                slice.push(Entry::new(k.into(), v));
             }
 
             // Per-shard dictionary from an evenly spaced sample of the
@@ -346,7 +381,8 @@ impl<V: Value> HopeStore<V> {
                 cfg.backend.new_index(),
                 slice,
                 cfg.batch_block,
-            );
+            )
+            .with_context(s, cfg.write_log_capacity);
             telemetry.events().record(Event {
                 kind: EventKind::GenerationBuilt,
                 shard: s as u32,
@@ -547,6 +583,49 @@ impl<V: Value> HopeStore<V> {
     /// Current epoch of every shard, in shard order.
     pub fn epochs(&self) -> Vec<u64> {
         self.shards.iter().map(|s| s.current().epoch()).collect()
+    }
+
+    /// Capture an O(1) copy-on-write [`Snapshot`] of the whole store: a
+    /// point-in-time view that [`Snapshot::get`] and the snapshot's
+    /// range surface read while writers and dictionary hot-swaps proceed
+    /// unhindered (see the [`versioned`] module docs for the mechanism
+    /// and lifetime story).
+    ///
+    /// Cost is `shards × (Arc clone + two usize reads)` — independent of
+    /// key count; no key, value, or index node is copied. The capture
+    /// briefly holds every shard's writer mutex (ascending order) so the
+    /// per-shard watermarks form one cross-shard instant; readers are
+    /// never blocked, and writers only for the pointer reads themselves.
+    ///
+    /// ```
+    /// use hope_store::prelude::*;
+    ///
+    /// let pairs = (0..300u64).map(|i| (format!("user{i:04}").into_bytes(), i));
+    /// let store = HopeStore::build(StoreConfig::default(), pairs)?;
+    /// let snap = store.snapshot();
+    /// store.insert(b"user0042".to_vec(), 999)?;
+    /// assert_eq!(snap.get(b"user0042")?, Some(42)); // frozen
+    /// assert_eq!(store.get(b"user0042")?, Some(999)); // live
+    /// # Ok::<(), StoreError>(())
+    /// ```
+    pub fn snapshot(&self) -> Snapshot<V> {
+        // Every shard's writer mutex, ascending — the one code path that
+        // holds more than one (see `Shard::writer_lock`), so the global
+        // order keeps it deadlock-free. With all writers excluded, the
+        // per-shard `(generation, watermark)` pairs are one instant: no
+        // insert or swap splice can land between the first read and the
+        // last.
+        let _guards: Vec<_> = self.shards.iter().map(|s| s.writer_lock()).collect();
+        let pins = self
+            .shards
+            .iter()
+            .map(|s| {
+                let generation = s.current();
+                let (live, watermark) = generation.occupancy();
+                versioned::Pin { generation, watermark, live }
+            })
+            .collect();
+        Snapshot::capture(pins, self.boundaries.clone(), Arc::clone(&self.telemetry))
     }
 
     /// One maintenance pass: every shard whose observed compression rate
@@ -817,7 +896,7 @@ pub mod prelude {
     };
     pub use crate::{
         Backend, HopeStore, IndexFactory, Maintainer, MaintenanceLog, RangeCursor, ShardReport,
-        SlotId, StoreConfig, StoreError, SwapReport,
+        SlotId, Snapshot, StoreConfig, StoreError, SwapReport,
     };
     pub use hope::prelude::*;
 }
@@ -960,6 +1039,11 @@ mod tests {
             HopeStore::<u64>::build(cfg, Vec::new()),
             Err(StoreError::InvalidConfig { .. })
         ));
+        let cfg = StoreConfig { incremental_min_reuse: 1.5, ..StoreConfig::default() };
+        assert!(matches!(
+            HopeStore::<u64>::build(cfg, Vec::new()),
+            Err(StoreError::InvalidConfig { .. })
+        ));
         let giant = vec![b'x'; hope::MAX_KEY_BYTES + 1];
         assert!(matches!(
             HopeStore::build(StoreConfig::default(), vec![(giant.clone(), 1u64)]),
@@ -1037,6 +1121,113 @@ mod tests {
         let generation = store.generation(0).unwrap();
         assert_eq!(generation.len(), 100);
         assert!(generation.memory_bytes() > 0);
+    }
+
+    #[test]
+    fn snapshots_freeze_a_point_in_time_across_writes_and_swaps() {
+        let store = HopeStore::build(small_cfg(), load(1200)).unwrap();
+        let snap = store.snapshot();
+        assert_eq!(snap.len(), 1200);
+        assert!(!snap.is_empty());
+        assert_eq!(snap.shards(), 4);
+        assert_eq!(snap.epochs(), store.epochs());
+        // Mutate the live store and hot-swap every shard under the
+        // snapshot's feet.
+        store.insert(b"com.gmail@user00042".to_vec(), 999).unwrap();
+        store.insert(b"aaa@newcomer".to_vec(), 7).unwrap();
+        for s in 0..4 {
+            store.force_rebuild(s).unwrap();
+        }
+        store.insert(b"com.gmail@user00100".to_vec(), 123_456).unwrap();
+        assert_eq!(store.get(b"com.gmail@user00042").unwrap(), Some(999));
+        assert_eq!(store.len(), 1201);
+        // The snapshot still reads the capture instant in every shard.
+        assert_eq!(snap.get(b"com.gmail@user00042").unwrap(), Some(42));
+        assert_eq!(snap.get(b"com.gmail@user00100").unwrap(), Some(100));
+        assert_eq!(snap.get(b"aaa@newcomer").unwrap(), None);
+        assert_eq!(snap.len(), 1200);
+        // Snapshot ranges span shards in source order and exclude every
+        // post-capture write.
+        let mut out = Vec::new();
+        let n = snap
+            .range_into(b"com.gmail@user00000", b"com.gmail@user01199", usize::MAX, &mut out)
+            .unwrap();
+        assert_eq!(n, 1200);
+        for (i, (k, v)) in out.iter().enumerate() {
+            assert_eq!(k, format!("com.gmail@user{i:05}").as_bytes());
+            assert_eq!(*v, i as u64);
+        }
+        // Pull cursor agrees with the push path and reports only pinned
+        // epochs (all pre-swap).
+        let pinned = snap.epochs();
+        let mut cur = snap.cursor(b"com.gmail@user00000", b"com.gmail@user01199", 500).unwrap();
+        let mut pulled = 0usize;
+        while let Some((_, _)) = cur.next_hit() {
+            assert!(pinned.contains(&cur.hit_epoch().unwrap()), "cursor escaped its pins");
+            pulled += 1;
+        }
+        assert!(cur.error().is_none());
+        assert_eq!(pulled, 500);
+        // Lifecycle telemetry: one taken, zero dropped … then the drop.
+        let t = store.telemetry();
+        assert_eq!(t.counter("store.snapshot.taken"), Some(1));
+        assert_eq!(t.gauge("store.snapshot.active"), Some(1));
+        assert_eq!(t.events_of(EventKind::SnapshotCreated).count(), 1);
+        drop(snap);
+        let t = store.telemetry();
+        assert_eq!(t.counter("store.snapshot.dropped"), Some(1));
+        assert_eq!(t.gauge("store.snapshot.active"), Some(0));
+        assert_eq!(t.events_of(EventKind::SnapshotDropped).count(), 1);
+    }
+
+    #[test]
+    fn snapshot_of_empty_store_is_empty() {
+        let store: HopeStore<u64> = HopeStore::build(small_cfg(), Vec::new()).unwrap();
+        let snap = store.snapshot();
+        store.insert(b"k1".to_vec(), 1).unwrap();
+        assert!(snap.is_empty());
+        assert_eq!(snap.get(b"k1").unwrap(), None);
+        let mut out = Vec::new();
+        assert_eq!(snap.range_into(b"a", b"z", 10, &mut out).unwrap(), 0);
+    }
+
+    #[test]
+    fn rebuilds_report_their_path_and_preserve_contents() {
+        // min_reuse 0: any same-scheme retrain qualifies for the merge
+        // path, however few keys it can reuse — the deterministic way to
+        // exercise the splice.
+        let cfg = StoreConfig { shards: 1, incremental_min_reuse: 0.0, ..small_cfg() };
+        let store = HopeStore::build(cfg, load(800)).unwrap();
+        let r = store.force_rebuild(0).unwrap();
+        assert!(r.incremental, "min_reuse 0 must take the merge path");
+        assert!(r.reused_bytes + r.reencoded_bytes > 0);
+        for i in (0..800).step_by(41) {
+            let k = format!("com.gmail@user{i:05}");
+            assert_eq!(store.get(k.as_bytes()).unwrap(), Some(i), "{k}");
+        }
+        let t = store.telemetry();
+        assert_eq!(t.counter("store.rebuild.incremental"), Some(1));
+        assert_eq!(t.events_of(EventKind::RebuildIncremental).count(), 1);
+        let ev = t.events_of(EventKind::RebuildIncremental).next().unwrap();
+        assert_eq!(ev.replayed, r.reused_bytes);
+        assert_eq!(ev.bytes, r.reencoded_bytes);
+
+        // min_reuse 1.0 + drifted traffic: the retrained codes move, so
+        // the bar is unreachable and the rebuild goes full.
+        let cfg = StoreConfig { shards: 1, incremental_min_reuse: 1.0, ..small_cfg() };
+        let store = HopeStore::build(cfg, load(800)).unwrap();
+        for i in 0..600u64 {
+            store.insert(format!("XQ#{i:)>6}!!zw|{i:x}").into_bytes(), i).unwrap();
+        }
+        let r = store.force_rebuild(0).unwrap();
+        assert!(!r.incremental, "drifted retrain cannot reuse 100% of the bytes");
+        assert_eq!(r.reused_bytes, 0);
+        assert!(r.reencoded_bytes > 0, "full path must account every live entry's bytes");
+        assert_eq!(store.get(b"com.gmail@user00003").unwrap(), Some(3));
+        assert_eq!(store.len(), 1400);
+        let t = store.telemetry();
+        assert_eq!(t.counter("store.rebuild.full"), Some(1));
+        assert_eq!(t.events_of(EventKind::RebuildFull).count(), 1);
     }
 
     #[test]

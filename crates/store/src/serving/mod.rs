@@ -156,6 +156,20 @@ pub enum Request<V: Value = u64> {
         /// Max hits returned.
         limit: usize,
     },
+    /// Bounded inclusive range scan over a point-in-time
+    /// [`Snapshot`](crate::versioned::Snapshot) the worker captures at
+    /// execution start — the serving-side face of the store's O(1)
+    /// copy-on-write snapshots. Unlike [`Request::Scan`], concurrent
+    /// writes and dictionary swaps are invisible for the whole scan, in
+    /// every shard.
+    SnapshotScan {
+        /// Inclusive low bound.
+        low: Vec<u8>,
+        /// Inclusive high bound.
+        high: Vec<u8>,
+        /// Max hits returned.
+        limit: usize,
+    },
 }
 
 impl<V: Value> Request<V> {
@@ -174,11 +188,16 @@ impl<V: Value> Request<V> {
         Request::Scan { low, high, limit }
     }
 
+    /// Snapshot-pinned range-scan request.
+    pub fn snapshot_scan(low: Vec<u8>, high: Vec<u8>, limit: usize) -> Self {
+        Request::SnapshotScan { low, high, limit }
+    }
+
     /// The key this request routes on (scans route by their low bound).
     pub fn routing_key(&self) -> &[u8] {
         match self {
             Request::Get { key } | Request::Insert { key, .. } => key,
-            Request::Scan { low, .. } => low,
+            Request::Scan { low, .. } | Request::SnapshotScan { low, .. } => low,
         }
     }
 }
@@ -219,7 +238,7 @@ pub enum Response<V: Value = u64> {
     Get(Option<V>),
     /// Previous value replaced by a [`Request::Insert`].
     Insert(Option<V>),
-    /// Summary of a [`Request::Scan`].
+    /// Summary of a [`Request::Scan`] or [`Request::SnapshotScan`].
     Scan(ScanSummary),
     /// The store refused the operation (codec validation and the like).
     Error(StoreError),
@@ -306,6 +325,11 @@ pub fn virtual_cost<V: Value>(req: &Request<V>) -> u64 {
         Request::Insert { key, .. } => 250 + 3 * key.len() as u64,
         Request::Scan { low, high, limit } => {
             400 + 2 * (low.len() + high.len()) as u64 + 220 * (*limit).min(256) as u64
+        }
+        // The snapshot capture itself is O(shards) — a small flat
+        // surcharge over a plain scan of the same shape.
+        Request::SnapshotScan { low, high, limit } => {
+            600 + 2 * (low.len() + high.len()) as u64 + 220 * (*limit).min(256) as u64
         }
     }
 }

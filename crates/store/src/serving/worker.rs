@@ -100,6 +100,28 @@ fn execute<V: Value>(shared: &Shared<V>, req: Request<V>) -> Response<V> {
                 None => Response::Scan(summary),
             }
         }
+        Request::SnapshotScan { low, high, limit } => {
+            // The capture pins every shard at one instant; the cursor
+            // then reads that instant no matter what swaps or writes
+            // land mid-scan (its epochs are the *pinned* generations').
+            let snap = shared.store.snapshot();
+            let mut cur = match snap.cursor(&low, &high, limit) {
+                Ok(c) => c,
+                Err(e) => return Response::Error(e),
+            };
+            let mut summary = ScanSummary::default();
+            while let Some((k, _v)) = cur.next_hit() {
+                summary.hits += 1;
+                summary.key_bytes += k.len() as u64;
+                if let Some(e) = cur.hit_epoch() {
+                    summary.note_epoch(e);
+                }
+            }
+            match cur.error() {
+                Some(e) => Response::Error(e.clone()),
+                None => Response::Scan(summary),
+            }
+        }
     }
 }
 
@@ -122,6 +144,41 @@ fn execute_traced<V: Value>(
         Request::Scan { low, high, limit } => {
             let probe_started = Instant::now();
             let mut cur = match shared.store.cursor(&low, &high, limit) {
+                Ok(c) => c,
+                Err(e) => return (Response::Error(e), None),
+            };
+            let mut summary = ScanSummary::default();
+            let mut probe_ns = 0u64;
+            let mut pull_started: Option<Instant> = None;
+            while let Some((k, _v)) = cur.next_hit() {
+                if summary.hits == 0 {
+                    probe_ns = probe_started.elapsed().as_nanos() as u64;
+                    pull_started = Some(Instant::now());
+                }
+                summary.hits += 1;
+                summary.key_bytes += k.len() as u64;
+                if let Some(e) = cur.hit_epoch() {
+                    summary.note_epoch(e);
+                }
+            }
+            if summary.hits == 0 {
+                probe_ns = probe_started.elapsed().as_nanos() as u64;
+            }
+            let decode_ns = pull_started.map_or(0, |t| t.elapsed().as_nanos() as u64);
+            let spans = ProbeSpans { encode_ns: 0, probe_ns, decode_ns };
+            match cur.error() {
+                Some(e) => (Response::Error(e.clone()), None),
+                None => (Response::Scan(summary), Some(spans)),
+            }
+        }
+        Request::SnapshotScan { low, high, limit } => {
+            // Probe span = snapshot capture + bound encode + descent to
+            // the first hit; decode span = the rest of the pull loop —
+            // the same split as a plain traced scan, with the capture
+            // charged to the probe.
+            let probe_started = Instant::now();
+            let snap = shared.store.snapshot();
+            let mut cur = match snap.cursor(&low, &high, limit) {
                 Ok(c) => c,
                 Err(e) => return (Response::Error(e), None),
             };

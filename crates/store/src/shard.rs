@@ -33,7 +33,7 @@ use hope::stats;
 use hope::{CodecStats, Value};
 
 use crate::error::StoreError;
-use crate::generation::{Entry, Generation};
+use crate::generation::{Entry, Generation, MergeSource};
 use crate::serving::FaultPlan;
 use crate::telemetry::{Counter, Event, EventKind, ProbeSpans, Telemetry};
 use crate::{StoreConfig, SwapReport};
@@ -196,6 +196,15 @@ impl<V: Value> Shard<V> {
         Arc::clone(&self.gen.read().unwrap_or_else(PoisonError::into_inner))
     }
 
+    /// Hold this shard's writer mutex. The store-wide snapshot capture
+    /// takes every shard's writer lock (ascending shard order) so no
+    /// insert or swap splice can interleave between its per-shard
+    /// `(generation, watermark)` reads — the only code path that ever
+    /// holds more than one writer lock, which keeps it deadlock-free.
+    pub(crate) fn writer_lock(&self) -> MutexGuard<'_, ()> {
+        lock(&self.writer)
+    }
+
     pub(crate) fn get(&self, key: &[u8]) -> Result<Option<V>, StoreError> {
         self.current().get(key)
     }
@@ -352,6 +361,32 @@ impl<V: Value> Shard<V> {
                     duration_ns: started.elapsed().as_nanos() as u64,
                     ..self.tel.event(EventKind::SwapEnd)
                 });
+                // Path attribution: which rebuild strategy ran, and the
+                // byte split it achieved (repurposed fields documented on
+                // the event kinds).
+                let kind = if report.incremental {
+                    EventKind::RebuildIncremental
+                } else {
+                    EventKind::RebuildFull
+                };
+                self.tel.hub.events().record(Event {
+                    prev_epoch: report.old_epoch,
+                    epoch: report.new_epoch,
+                    keys: report.live_keys as u64,
+                    replayed: report.reused_bytes,
+                    bytes: report.reencoded_bytes,
+                    duration_ns: started.elapsed().as_nanos() as u64,
+                    ..self.tel.event(kind)
+                });
+                let reg = self.tel.hub.registry();
+                reg.counter("store.rebuild.reused_bytes").add(report.reused_bytes);
+                reg.counter("store.rebuild.reencoded_bytes").add(report.reencoded_bytes);
+                reg.counter(if report.incremental {
+                    "store.rebuild.incremental"
+                } else {
+                    "store.rebuild.full"
+                })
+                .inc();
                 Ok(report)
             }
             Err(e) => {
@@ -386,7 +421,7 @@ impl<V: Value> Shard<V> {
             return Err(e);
         }
         let old = self.current();
-        let (live, watermark) = old.snapshot_live();
+        let (live, old_encs, watermark) = old.snapshot_live_encoded();
 
         // Sample = reservoir (recent traffic), topped up with resident
         // keys when traffic alone is too thin to train a dictionary.
@@ -401,14 +436,56 @@ impl<V: Value> Shard<V> {
         let baseline_cpr = stats::measure(&hope, &sample).cpr();
         let epoch = epoch_counter.fetch_add(1, Ordering::Relaxed) + 1;
         let live_keys = live.len();
-        let next = Generation::build(
-            epoch,
-            hope,
-            baseline_cpr,
-            cfg.backend.new_index(),
-            live,
-            cfg.batch_block,
-        );
+
+        // Merge-path decision: diff the old dictionary against the
+        // retrained one and measure, in *bytes*, how much of the already
+        // encoded data the new dictionary would reproduce verbatim. Only
+        // when that fraction clears `incremental_min_reuse` is the merge
+        // build worth its bookkeeping; otherwise (or when no diff is
+        // possible) fall back to the full re-encode.
+        let mut reuse: Vec<bool> = Vec::new();
+        let mut reusable_bytes = 0u64;
+        let mut live_bytes = 0u64;
+        if let Some(diff) = old.hope().encoding_diff(&hope) {
+            reuse.reserve(live.len());
+            for (e, enc) in live.iter().zip(&old_encs) {
+                let unchanged = diff.key_unchanged(&e.key);
+                live_bytes += enc.len() as u64;
+                if unchanged {
+                    reusable_bytes += enc.len() as u64;
+                }
+                reuse.push(unchanged);
+            }
+        }
+        let incremental = live_bytes > 0
+            && reusable_bytes as f64 >= cfg.incremental_min_reuse * live_bytes as f64;
+
+        let (next, merge_stats) = if incremental {
+            let (g, stats) = Generation::build_merged(
+                epoch,
+                hope,
+                baseline_cpr,
+                cfg.backend.new_index(),
+                MergeSource { pairs: live, old_encs, reuse },
+                cfg.batch_block,
+            );
+            (g, Some(stats))
+        } else {
+            let g = Generation::build(
+                epoch,
+                hope,
+                baseline_cpr,
+                cfg.backend.new_index(),
+                live,
+                cfg.batch_block,
+            );
+            (g, None)
+        };
+        let next = next.with_context(shard_id, cfg.write_log_capacity);
+        let (reused_bytes, reencoded_bytes) = match merge_stats {
+            Some(s) => (s.reused_bytes, s.reencoded_bytes),
+            None => (0, next.encoded_live_bytes()),
+        };
 
         // Splice: block writers, replay their log tail, flip the epoch.
         // Replay inserts re-encode keys that already passed validation at
@@ -418,7 +495,7 @@ impl<V: Value> Shard<V> {
         let _w = lock(&self.writer);
         let delta = old.entries_since(watermark);
         let replayed = delta.len();
-        for Entry { key, value } in delta {
+        for Entry { key, value, .. } in delta {
             next.insert(&key, value)?;
         }
         let report = SwapReport {
@@ -430,6 +507,9 @@ impl<V: Value> Shard<V> {
             new_baseline_cpr: baseline_cpr,
             live_keys,
             replayed,
+            incremental,
+            reused_bytes,
+            reencoded_bytes,
         };
         let dict_bytes = next.hope().dict_memory_bytes();
         // The old generation's codec counters die with its `Arc`; fold

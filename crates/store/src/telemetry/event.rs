@@ -51,6 +51,25 @@ pub enum EventKind {
     /// The admission controller lowered a worker's shed level (same
     /// field repurposing as [`EventKind::AdmissionEngage`]).
     AdmissionRelease,
+    /// A rebuild took the incremental merge path: already-encoded runs
+    /// were reused and only keys whose codes changed were re-encoded.
+    /// Emitted alongside the shard's [`EventKind::SwapEnd`] with fields
+    /// repurposed: `replayed` = encoded bytes reused verbatim, `bytes` =
+    /// bytes re-encoded.
+    RebuildIncremental,
+    /// A rebuild took the full re-encode path (the diff found too little
+    /// reuse, or no diff was possible). Same field repurposing as
+    /// [`EventKind::RebuildIncremental`]: `replayed` = 0, `bytes` =
+    /// bytes re-encoded.
+    RebuildFull,
+    /// A store-wide snapshot was taken. Fields repurposed: `keys` = the
+    /// shard count pinned, `prev_epoch`/`epoch` = the minimum/maximum
+    /// pinned generation epoch.
+    SnapshotCreated,
+    /// A [`Snapshot`](crate::versioned::Snapshot) handle was dropped,
+    /// releasing its generation pins (same field repurposing as
+    /// [`EventKind::SnapshotCreated`]).
+    SnapshotDropped,
 }
 
 impl EventKind {
@@ -62,6 +81,10 @@ impl EventKind {
             EventKind::RebuildFailed => 3,
             EventKind::AdmissionEngage => 4,
             EventKind::AdmissionRelease => 5,
+            EventKind::RebuildIncremental => 6,
+            EventKind::RebuildFull => 7,
+            EventKind::SnapshotCreated => 8,
+            EventKind::SnapshotDropped => 9,
         }
     }
 
@@ -73,6 +96,10 @@ impl EventKind {
             3 => Some(EventKind::RebuildFailed),
             4 => Some(EventKind::AdmissionEngage),
             5 => Some(EventKind::AdmissionRelease),
+            6 => Some(EventKind::RebuildIncremental),
+            7 => Some(EventKind::RebuildFull),
+            8 => Some(EventKind::SnapshotCreated),
+            9 => Some(EventKind::SnapshotDropped),
             _ => None,
         }
     }
@@ -86,6 +113,10 @@ impl EventKind {
             EventKind::RebuildFailed => "rebuild_failed",
             EventKind::AdmissionEngage => "admission_engage",
             EventKind::AdmissionRelease => "admission_release",
+            EventKind::RebuildIncremental => "rebuild_incremental",
+            EventKind::RebuildFull => "rebuild_full",
+            EventKind::SnapshotCreated => "snapshot_created",
+            EventKind::SnapshotDropped => "snapshot_dropped",
         }
     }
 }
@@ -331,21 +362,31 @@ mod tests {
 
     #[test]
     fn every_kind_survives_the_pack_unpack_trip() {
-        let log = EventLog::new(8);
-        for kind in [
+        let log = EventLog::new(16);
+        let kinds = [
             EventKind::GenerationBuilt,
             EventKind::SwapBegin,
             EventKind::SwapEnd,
             EventKind::RebuildFailed,
-        ] {
+            EventKind::AdmissionEngage,
+            EventKind::AdmissionRelease,
+            EventKind::RebuildIncremental,
+            EventKind::RebuildFull,
+            EventKind::SnapshotCreated,
+            EventKind::SnapshotDropped,
+        ];
+        for kind in kinds {
             log.record(Event { kind, shard: u32::MAX, epoch: u64::MAX, ..Event::default() });
         }
         let evs = log.snapshot();
-        assert_eq!(evs.len(), 4);
-        assert_eq!(evs[0].kind, EventKind::GenerationBuilt);
-        assert_eq!(evs[3].kind, EventKind::RebuildFailed);
-        assert_eq!(evs[1].shard, u32::MAX);
-        assert_eq!(evs[2].epoch, u64::MAX);
+        assert_eq!(evs.len(), kinds.len());
+        for (ev, kind) in evs.iter().zip(kinds) {
+            assert_eq!(ev.kind, kind);
+            assert_eq!(ev.shard, u32::MAX);
+            assert_eq!(ev.epoch, u64::MAX);
+        }
         assert_eq!(evs[0].kind.name(), "generation_built");
+        assert_eq!(evs[6].kind.name(), "rebuild_incremental");
+        assert_eq!(evs[9].kind.name(), "snapshot_dropped");
     }
 }

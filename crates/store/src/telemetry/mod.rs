@@ -106,6 +106,21 @@ impl Gauge {
         self.0.fetch_max(v, Ordering::Relaxed);
     }
 
+    /// Add 1 (live-object gauges: snapshots outstanding, cursors open).
+    #[inline]
+    pub fn inc(&self) {
+        self.0.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Subtract 1, saturating at 0 — a stray extra `dec` must not wrap a
+    /// live-object gauge to `u64::MAX`.
+    #[inline]
+    pub fn dec(&self) {
+        let _ = self
+            .0
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |v| Some(v.saturating_sub(1)));
+    }
+
     /// Current value.
     pub fn get(&self) -> u64 {
         self.0.load(Ordering::Relaxed)
@@ -478,6 +493,12 @@ mod tests {
         g.record_max(9);
         g.record_max(2);
         assert_eq!(g.get(), 9);
+        g.inc();
+        assert_eq!(g.get(), 10);
+        g.set(1);
+        g.dec();
+        g.dec(); // saturates at zero, never wraps
+        assert_eq!(g.get(), 0);
         let h = reg.histo("x.lat");
         h.record(100);
         assert_eq!(h.snapshot().count(), 1);

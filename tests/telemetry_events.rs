@@ -217,8 +217,10 @@ proptest! {
 /// tiny ring (`event_capacity: 8`), `rebuild_fail_every: 2`, and 20
 /// alternating forced rebuilds. Every count is exact by construction:
 /// 2 `GenerationBuilt` + 20 `SwapBegin` + 10 `RebuildFailed` (attempts
-/// 0,2,4,6,8 per shard) + 10 `SwapEnd` = 42 recorded, so 34 drop and the
-/// resident window is the last four episodes.
+/// 0,2,4,6,8 per shard) + 10 `SwapEnd` + 10 `RebuildIncremental` (an
+/// untouched shard retrains a byte-identical dictionary, so every heal
+/// takes the splice path) = 52 recorded, so 44 drop and the resident
+/// window is the tail of the last three episodes.
 #[test]
 fn store_fault_burst_overflows_ring_with_exact_drop_count() {
     let pairs = (0..400u64).map(|i| (format!("com.mail@user{i:04}").into_bytes(), i));
@@ -251,13 +253,13 @@ fn store_fault_burst_overflows_ring_with_exact_drop_count() {
     for s in 0..2 {
         assert_eq!(tel.counter(&format!("store.shard.{s}.rebuild_errors")), Some(5));
     }
-    // 42 recorded through a ring of 8: exactly 34 dropped, oldest first.
-    assert_eq!(tel.dropped_events, 34);
+    // 52 recorded through a ring of 8: exactly 44 dropped, oldest first.
+    assert_eq!(tel.dropped_events, 44);
     assert_eq!(tel.events.len(), 8);
     let seqs: Vec<u64> = tel.events.iter().map(|e| e.seq).collect();
-    assert_eq!(seqs, (34..42).collect::<Vec<u64>>());
-    // The resident window is the last four episodes: fail, fail, heal,
-    // heal — in that order.
+    assert_eq!(seqs, (44..52).collect::<Vec<u64>>());
+    // The resident window straddles the last three episodes: the tail of
+    // a failure, then two heals (each begin + end + path attribution).
     let kinds: Vec<EventKind> = tel.events.iter().map(|e| e.kind).collect();
     assert_eq!(
         kinds,
@@ -265,11 +267,11 @@ fn store_fault_burst_overflows_ring_with_exact_drop_count() {
             EventKind::SwapBegin,
             EventKind::RebuildFailed,
             EventKind::SwapBegin,
-            EventKind::RebuildFailed,
+            EventKind::SwapEnd,
+            EventKind::RebuildIncremental,
             EventKind::SwapBegin,
             EventKind::SwapEnd,
-            EventKind::SwapBegin,
-            EventKind::SwapEnd,
+            EventKind::RebuildIncremental,
         ]
     );
     // Failed rebuilds install nothing; healed ones step the epoch. The
@@ -277,7 +279,9 @@ fn store_fault_burst_overflows_ring_with_exact_drop_count() {
     for e in &tel.events {
         match e.kind {
             EventKind::RebuildFailed | EventKind::SwapBegin => assert_eq!(e.epoch, e.prev_epoch),
-            EventKind::SwapEnd => assert!(e.epoch > e.prev_epoch),
+            EventKind::SwapEnd | EventKind::RebuildIncremental | EventKind::RebuildFull => {
+                assert!(e.epoch > e.prev_epoch)
+            }
             _ => {}
         }
     }
